@@ -1,0 +1,241 @@
+package repro
+
+// One benchmark per experiment of DESIGN.md's index (E01..E16): each
+// runs the mechanical simulation behind the corresponding EXPERIMENTS.md
+// table at a representative size and reports the charged model cost as
+// a custom metric alongside wall-clock time. `go test -bench=. -benchmem`
+// regenerates the whole set; cmd/experiments prints the full sweeps.
+
+import (
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/amsort"
+	"repro/internal/bt"
+	"repro/internal/core/btsim"
+	"repro/internal/core/hmmsim"
+	"repro/internal/core/selfsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/hmm"
+	"repro/internal/progtest"
+	"repro/internal/workload"
+)
+
+var alphaHalf = cost.Poly{Alpha: 0.5}
+
+// reportCost attaches the charged model cost of the last iteration.
+func reportCost(b *testing.B, c float64) {
+	b.ReportMetric(c, "model-cost")
+}
+
+func BenchmarkE01TouchHMM(b *testing.B) {
+	const n = 1 << 16
+	var c float64
+	for i := 0; i < b.N; i++ {
+		m := hmm.New(alphaHalf, n)
+		m.Touch(n)
+		c = m.Cost()
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE02TouchBT(b *testing.B) {
+	const n = 1 << 16
+	var c float64
+	for i := 0; i < b.N; i++ {
+		m := bt.New(alphaHalf, n)
+		m.Touch(n)
+		c = m.Cost()
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE03HMMSlowdown(b *testing.B) {
+	prog := progtest.Rotate(256, progtest.Descending(256)...)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE04NaiveVsScheduled(b *testing.B) {
+	prog := progtest.Rotate(256, progtest.Fine(256, 12)...)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := hmmsim.SimulateNaive(prog, alphaHalf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE05MatMul(b *testing.B) {
+	prog := algos.MatMul(256, workload.Matrix(11, 16, 4), workload.Matrix(12, 16, 4))
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE06DFT(b *testing.B) {
+	prog := algos.DFTButterfly(256, workload.KeyFunc(21, 256, 1<<20))
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE07Sort(b *testing.B) {
+	prog := algos.Sort(256, workload.KeyFunc(31, 256, 1024))
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE08Brent(b *testing.B) {
+	prog := progtest.Rotate(64, progtest.Descending(64)...)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := selfsim.Simulate(prog, alphaHalf, 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE09BTSim(b *testing.B) {
+	prog := progtest.Rotate(256, progtest.Descending(256)...)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := btsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE10BTMatMul(b *testing.B) {
+	prog := algos.MatMul(256, workload.Matrix(13, 16, 4), workload.Matrix(14, 16, 4))
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := btsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE11BTDFTChoice(b *testing.B) {
+	prog := algos.DFTRecursive(256, workload.KeyFunc(41, 256, 1<<20))
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := btsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE14SmoothingAblation(b *testing.B) {
+	logv := dbsp.Log2(256)
+	prog := progtest.Rotate(256, logv-1, 0, logv-1, 0, logv-1, 0)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE15Compute(b *testing.B) {
+	prog := progtest.ComputeOnly(256, 4, 0, 0, 0, 0, 0, 0)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := btsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}
+
+func BenchmarkE16AMSort(b *testing.B) {
+	const count, rec = 1 << 13, 2
+	keys := workload.Keys(51, count, 10*count)
+	var c float64
+	for i := 0; i < b.N; i++ {
+		p := amsort.NewPlan(alphaHalf, rec, count)
+		hot := int64(0)
+		cold := p.HotWords()
+		data := cold + p.ColdWords()
+		scratch := data + count*rec
+		m := bt.New(alphaHalf, scratch+count*rec+8)
+		for j := int64(0); j < count; j++ {
+			m.Poke(data+j*rec, keys[j])
+			m.Poke(data+j*rec+1, j)
+		}
+		amsort.Sort(m, p, data, scratch, hot, cold)
+		c = m.Cost()
+	}
+	reportCost(b, c)
+}
+
+// BenchmarkNativeEngine measures the goroutine-parallel superstep
+// engine itself (not a paper experiment; included for harness costing).
+func BenchmarkNativeEngine(b *testing.B) {
+	prog := progtest.Rotate(1024, progtest.Descending(1024)...)
+	for i := 0; i < b.N; i++ {
+		if _, err := dbsp.Run(prog, alphaHalf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17RouteDelivery(b *testing.B) {
+	prog := algos.DFTRecursive(256, workload.KeyFunc(62, 256, 1<<20))
+	var c float64
+	for i := 0; i < b.N; i++ {
+		res, err := btsim.Simulate(prog, alphaHalf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c = res.HostCost
+	}
+	reportCost(b, c)
+}

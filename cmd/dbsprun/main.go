@@ -1,0 +1,152 @@
+// Command dbsprun executes a named D-BSP program on the native
+// goroutine-parallel engine and prints the per-superstep cost breakdown
+// (label, τ, h, charged time), then optionally simulates it on the HMM
+// and BT hosts and reports the slowdowns.
+//
+// Usage:
+//
+//	dbsprun -prog sort -v 256 -g x^0.5 [-sim]
+//
+// Programs: rotate, bcast, prefix, matmul, fft, fftrec, sort, permute,
+// conv, reduce, stencil.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algos"
+	"repro/internal/core/btsim"
+	"repro/internal/core/hmmsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/progtest"
+	"repro/internal/theory"
+	"repro/internal/workload"
+)
+
+func buildProgram(name string, v int) (*dbsp.Program, error) {
+	switch name {
+	case "rotate":
+		return progtest.Rotate(v, progtest.Descending(v)...), nil
+	case "bcast":
+		return algos.Broadcast(v, 42), nil
+	case "prefix":
+		return algos.PrefixSums(v, func(p int) int64 { return int64(p + 1) }), nil
+	case "matmul":
+		side := 1 << uint(dbsp.Log2(v)/2)
+		if side*side != v {
+			return nil, fmt.Errorf("matmul needs v = 4^k, got %d", v)
+		}
+		return algos.MatMul(v, workload.Matrix(1, side, 8), workload.Matrix(2, side, 8)), nil
+	case "fft":
+		return algos.DFTButterfly(v, workload.KeyFunc(3, v, 1<<20)), nil
+	case "fftrec":
+		return algos.DFTRecursive(v, workload.KeyFunc(3, v, 1<<20)), nil
+	case "sort":
+		return algos.Sort(v, workload.KeyFunc(4, v, int64(4*v))), nil
+	case "permute":
+		return algos.Permute(v, workload.Permutation(5, v), func(p int) int64 { return int64(p) }), nil
+	case "conv":
+		return algos.Convolution(v, workload.KeyFunc(6, v, 1000), workload.KeyFunc(7, v, 1000)), nil
+	case "reduce":
+		return algos.Reduce(v, algos.OpSum, func(p int) int64 { return int64(p + 1) }), nil
+	case "stencil":
+		return algos.Stencil1D(v, 4, func(p int) int64 { return int64(p * 16) }), nil
+	default:
+		return nil, fmt.Errorf("unknown program %q", name)
+	}
+}
+
+func main() {
+	progName := flag.String("prog", "rotate", "program: rotate|bcast|prefix|matmul|fft|fftrec|sort|permute|conv|reduce|stencil")
+	v := flag.Int("v", 64, "processors (power of two; matmul needs a power of four)")
+	gSpec := flag.String("g", "x^0.5", "bandwidth/access function: log, x^A, const:C, linear:S")
+	sim := flag.Bool("sim", false, "also simulate on HMM and BT hosts with f = g")
+	verbose := flag.Bool("steps", false, "print every superstep (default: summary by label)")
+	trace := flag.Bool("trace", false, "record every message and print the locality histogram")
+	flag.Parse()
+
+	g, err := cost.Parse(*gSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbsprun:", err)
+		os.Exit(2)
+	}
+	prog, err := buildProgram(*progName, *v)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbsprun:", err)
+		os.Exit(2)
+	}
+
+	var res *dbsp.Result
+	var tr *dbsp.Trace
+	if *trace {
+		res, tr, err = dbsp.RunTraced(prog, g)
+	} else {
+		res, err = dbsp.Run(prog, g)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbsprun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("program %s on D-BSP(v=%d, µ=%d, g=%s): %d supersteps\n\n",
+		prog.Name, prog.V, prog.Mu(), g.Name(), len(prog.Steps))
+	if *verbose {
+		fmt.Printf("%5s %6s %8s %4s %12s\n", "step", "label", "tau", "h", "cost")
+		for i, sc := range res.Steps {
+			fmt.Printf("%5d %6d %8d %4d %12.2f\n", i, sc.Label, sc.Tau, sc.H, sc.Cost)
+		}
+	} else {
+		type agg struct {
+			count int
+			tau   int64
+			cost  float64
+		}
+		byLabel := map[int]*agg{}
+		for _, sc := range res.Steps {
+			a := byLabel[sc.Label]
+			if a == nil {
+				a = &agg{}
+				byLabel[sc.Label] = a
+			}
+			a.count++
+			a.tau += sc.Tau
+			a.cost += sc.Cost
+		}
+		fmt.Printf("%6s %6s %10s %14s\n", "label", "steps", "Σtau", "Σcost")
+		for l := 0; l <= prog.LogV(); l++ {
+			if a := byLabel[l]; a != nil {
+				fmt.Printf("%6d %6d %10d %14.2f\n", l, a.count, a.tau, a.cost)
+			}
+		}
+	}
+	fmt.Printf("\nD-BSP time T = %.2f (computation %d, communication %.2f)\n",
+		res.Cost, res.TotalTau(), res.CommCost())
+
+	if tr != nil {
+		fmt.Printf("\n%d messages routed; label slack %.2f levels\n%s",
+			tr.Messages(), tr.Slack(), tr.FormatHistogram())
+	}
+
+	if *sim {
+		h, err := hmmsim.Simulate(prog, g, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbsprun: hmm:", err)
+			os.Exit(1)
+		}
+		b, err := btsim.Simulate(prog, g, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbsprun: bt:", err)
+			os.Exit(1)
+		}
+		lam := prog.Lambda(true)
+		predH := theory.HMMSimulation(g, prog.V, prog.Mu(), float64(res.TotalTau()), lam)
+		predB := theory.BTSimulation(prog.V, prog.Mu(), float64(res.TotalTau()), lam)
+		fmt.Printf("\nHMM simulation (f=g): cost %.3g  slowdown %.1f  Thm5 bound %.3g (ratio %.2f)\n",
+			h.HostCost, h.HostCost/res.Cost, predH, h.HostCost/predH)
+		fmt.Printf("BT  simulation (f=g): cost %.3g  slowdown %.1f  Thm12 bound %.3g (ratio %.2f), %d block transfers\n",
+			b.HostCost, b.HostCost/res.Cost, predB, b.HostCost/predB, b.Blocks.Copies)
+	}
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: each
+// quantitative claim of the paper (Facts 1-2, Theorems 5/10/12,
+// Corollaries 6/11, Propositions 7-9, the Section 5.3 comparisons and
+// the substrate bounds) as a measured-vs-predicted table.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E05[,E09,...]]
+//
+// -quick trims the parameter sweeps for a fast smoke run; -only selects
+// specific experiments by id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trim parameter sweeps for a fast smoke run")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E05,E09)")
+	asJSON := flag.Bool("json", false, "emit the tables as a JSON array")
+	flag.Parse()
+
+	var tables []*experiments.Table
+	start := time.Now()
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			fn, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+				os.Exit(2)
+			}
+			tables = append(tables, fn(*quick))
+		}
+	} else {
+		tables = experiments.All(*quick)
+	}
+
+	if *asJSON {
+		fmt.Println("[")
+		for i, t := range tables {
+			raw, err := t.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(raw)
+			if i+1 < len(tables) {
+				fmt.Println(",")
+			}
+		}
+		fmt.Println("\n]")
+		return
+	}
+	fmt.Printf("# Experiment tables (generated %s, %d experiments)\n\n",
+		time.Now().Format("2006-01-02"), len(tables))
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("Total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,106 @@
+// Command memtrace regenerates the paper's two memory-layout figures
+// from instrumented runs:
+//
+//	memtrace -fig 2    cluster-context movements during a Figure 1
+//	                   cycle (snapshots of which processor's context
+//	                   occupies each HMM block, per round)
+//	memtrace -fig 4    the BT memory layout during UNPACK(0): how the
+//	                   empty buffer blocks get interspersed with the
+//	                   contexts (and PACK reversing it)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core/hmmsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+)
+
+func main() {
+	fig := flag.Int("fig", 2, "figure to regenerate: 2 or 4")
+	v := flag.Int("v", 8, "number of processors (power of two)")
+	flag.Parse()
+	switch *fig {
+	case 2:
+		figure2(*v)
+	case 4:
+		figure4(*v)
+	default:
+		fmt.Fprintln(os.Stderr, "memtrace: -fig must be 2 or 4")
+		os.Exit(2)
+	}
+}
+
+// figure2 renders the cluster movements of the Figure 1 scheduler for a
+// program whose single coarsening (log v -> 0) forces a full cycle over
+// all v sibling clusters — the situation of the paper's Figure 2
+// (b = 8 siblings when v = 8).
+func figure2(v int) {
+	logv := dbsp.Log2(v)
+	prog := &dbsp.Program{
+		Name:   "figure2",
+		V:      v,
+		Layout: dbsp.Layout{Data: 1, MaxMsgs: 0},
+		Steps: []dbsp.Superstep{
+			{Label: logv, Run: func(c *dbsp.Ctx) { c.Store(0, c.Load(0)+1) }},
+			{Label: 0, Run: func(c *dbsp.Ctx) {}},
+		},
+	}
+	fmt.Printf("Figure 2 — HMM block contents at the start of each round\n")
+	fmt.Printf("(v=%d: one %d-superstep per processor cluster, then a 0-superstep;\n", v, logv)
+	fmt.Printf("the 0-superstep forces the cycle through all %d sibling clusters)\n\n", v)
+	fmt.Printf("%5s %5s %6s  blocks (processor whose context occupies each block)\n", "round", "step", "label")
+	opts := &hmmsim.Options{
+		// L = {0, log v}: the coarsening is a single cycle over b = v
+		// sibling clusters, exactly the situation of the paper's figure.
+		Labels: []int{0, logv},
+		Observer: func(round int64, step, label int, procOf []int) {
+			cells := make([]string, len(procOf))
+			for i, p := range procOf {
+				cells[i] = fmt.Sprintf("P%d", p)
+			}
+			fmt.Printf("%5d %5d %6d  %s\n", round, step, label, strings.Join(cells, " "))
+		},
+	}
+	if _, err := hmmsim.Simulate(prog, cost.Log{}, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "memtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// figure4 renders the UNPACK(0) recursion of Section 5.1 at block
+// granularity: contexts P0..P{v-1} packed at the top, v empty blocks
+// after, then one copy per level interspersing the buffers.
+func figure4(v int) {
+	blocks := make([]string, 2*v)
+	for i := range blocks {
+		if i < v {
+			blocks[i] = fmt.Sprintf("P%d", i)
+		} else {
+			blocks[i] = "__"
+		}
+	}
+	render := func(tag string) {
+		fmt.Printf("%-12s %s\n", tag, strings.Join(blocks, " "))
+	}
+	fmt.Printf("Figure 4 — BT memory layout during UNPACK(0), v=%d\n", v)
+	fmt.Printf("(each level copies the lower half of the packed prefix one half-width down;\n")
+	fmt.Printf("vacated blocks become the interspersed buffers)\n\n")
+	render("initial")
+	logv := dbsp.Log2(v)
+	for lvl := 0; lvl < logv; lvl++ {
+		n := v >> lvl
+		// Copy blocks [n/2, n) onto [n, 3n/2); the sources become free.
+		copy(blocks[n:3*n/2], blocks[n/2:n])
+		for i := n / 2; i < n; i++ {
+			blocks[i] = "__"
+		}
+		render(fmt.Sprintf("UNPACK(%d)", lvl))
+	}
+	fmt.Println()
+	fmt.Println("PACK(0) reverses the copies bottom-up, regathering the contexts at the top.")
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Golden checks for the regenerated figures (experiments E12/E13): the
+// snapshots must match the paper's diagrams block for block.
+func runSelf(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run . %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestFigure4Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := runSelf(t, "-fig", "4", "-v", "8")
+	for _, want := range []string{
+		"initial      P0 P1 P2 P3 P4 P5 P6 P7 __ __ __ __ __ __ __ __",
+		"UNPACK(0)    P0 P1 P2 P3 __ __ __ __ P4 P5 P6 P7 __ __ __ __",
+		"UNPACK(1)    P0 P1 __ __ P2 P3 __ __ P4 P5 P6 P7 __ __ __ __",
+		"UNPACK(2)    P0 __ P1 __ P2 P3 __ __ P4 P5 P6 P7 __ __ __ __",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 4 missing line %q\ngot:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := runSelf(t, "-fig", "2", "-v", "8")
+	// The cycle brings each sibling to the top in turn, restoring order
+	// at the end (the paper's Figure 2 with b = 8).
+	for _, want := range []string{
+		"P0 P1 P2 P3 P4 P5 P6 P7",
+		"P1 P0 P2 P3 P4 P5 P6 P7",
+		"P2 P1 P0 P3 P4 P5 P6 P7",
+		"P7 P1 P2 P3 P4 P5 P6 P0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 2 missing snapshot %q", want)
+		}
+	}
+}

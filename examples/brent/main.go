@@ -1,0 +1,53 @@
+// The Brent-lemma analogue (Section 4, Theorem 10): scaling a D-BSP
+// program down from v to v′ processors, where each of the v′ host
+// processors is a g(x)-HMM holding v/v′ guest contexts, costs Θ(v/v′) —
+// the network hierarchy continues seamlessly into the memory hierarchy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+)
+
+func main() {
+	const v = 64
+	g := cost.Poly{Alpha: 0.5}
+	prog := algos.PrefixSums(v, func(p int) int64 { return int64(p + 1) })
+
+	native, err := dbsp.Run(prog, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefix sums on D-BSP(v=%d, µ=%d, g=%s): T = %.1f\n\n",
+		v, prog.Mu(), g.Name(), native.Cost)
+	fmt.Printf("%6s %12s %12s %10s %14s\n", "v'", "host cost", "module", "comm", "cost·v'/v")
+
+	var prev float64
+	for vp := v; vp >= 1; vp /= 2 {
+		res, err := core.OnDBSP(prog, g, vp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Correctness: processor p must hold Σ_{q<=p}(q+1).
+		for p := 0; p < v; p++ {
+			want := int64((p + 1) * (p + 2) / 2)
+			if got := res.Contexts[p][0]; got != want {
+				log.Fatalf("v'=%d: proc %d prefix = %d, want %d", vp, p, got, want)
+			}
+		}
+		marker := ""
+		if prev > 0 {
+			marker = fmt.Sprintf("  (×%.2f)", res.HostCost/prev)
+		}
+		fmt.Printf("%6d %12.1f %12.1f %10.1f %14.1f%s\n",
+			vp, res.HostCost, res.ModuleCost, res.CommCost,
+			res.HostCost*float64(vp)/float64(v), marker)
+		prev = res.HostCost
+	}
+	fmt.Println("\nhalving v' roughly doubles the time — the Θ(v/v') slowdown of Corollary 11")
+}

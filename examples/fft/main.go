@@ -1,0 +1,74 @@
+// The two DFT schedules of Proposition 8 and how the choice of the
+// D-BSP bandwidth function ranks them for block-transfer machines
+// (Section 5.3): on g = x^α the butterfly and the recursive
+// √n-decomposition cost the same O(n^α), but on g = log x — and on the
+// BT host — their costs separate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 256
+	input := workload.KeyFunc(7, n, 1<<20)
+
+	butterfly := algos.DFTButterfly(n, input)
+	recursive := algos.DFTRecursive(n, input)
+
+	// Verify both against the direct O(n²) DFT over Z_P.
+	x := make([]int64, n)
+	for p := range x {
+		x[p] = input(p)
+	}
+	want := algos.DirectDFT(x)
+	nb, err := dbsp.Run(butterfly, cost.Log{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nr, err := dbsp.Run(recursive, cost.Log{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logn := dbsp.Log2(n)
+	for p := 0; p < n; p++ {
+		if nb.Contexts[p][0] != want[algos.BitReverse(p, logn)] {
+			log.Fatalf("butterfly output wrong at %d", p)
+		}
+		if nr.Contexts[p][0] != want[p] {
+			log.Fatalf("recursive output wrong at %d", p)
+		}
+	}
+	fmt.Printf("both %d-point NTT schedules verified against the direct DFT\n\n", n)
+
+	// Native D-BSP times under the two bandwidth functions.
+	for _, g := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		tb, _ := dbsp.Run(butterfly, g)
+		tr, _ := dbsp.Run(recursive, g)
+		fmt.Printf("g = %-7s butterfly T = %8.1f   recursive T = %8.1f\n",
+			g.Name(), tb.Cost, tr.Cost)
+	}
+
+	// BT simulations: Theorem 12 says cost ~ v·µ·Σ λ_i·log(µv/2^i),
+	// independent of f; asymptotically the recursive schedule's profile
+	// (n log n log log n) beats the butterfly's (n log² n).
+	fmt.Println()
+	for _, prog := range []struct {
+		name string
+		p    interface{}
+	}{{"butterfly", butterfly}, {"recursive", recursive}} {
+		b, err := core.OnBT(prog.p.(*dbsp.Program), cost.Poly{Alpha: 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("x^0.5-BT %s simulation: cost %.3g\n", prog.name, b.HostCost)
+	}
+	fmt.Println("\n(see EXPERIMENTS.md E11 for the asymptotic-vs-measured discussion)")
+}

@@ -1,0 +1,69 @@
+// A concrete memory hierarchy: instead of the analytic x^α / log x
+// access functions, model a machine with explicit L1/L2/L3/DRAM levels
+// (a cost.Table) and watch the same D-BSP programs translate their
+// submachine locality into cache locality. This is the scenario the
+// paper's introduction motivates: "performance is considerably enhanced
+// when the relevant data can be moved up the hierarchy".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/core/hmmsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A toy four-level hierarchy, capacities in words and access costs
+	// in cycles (loosely shaped after a real cache pyramid).
+	hier := cost.Table{
+		Bounds: []int64{1 << 8, 1 << 11, 1 << 13},
+		Costs:  []float64{1, 4, 16, 120},
+		Label:  "L1/L2/L3/DRAM",
+	}
+	if err := hier.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	rep := cost.CheckUniform(hier, 1<<20)
+	fmt.Printf("hierarchy %s: (2,c)-uniform with observed c = %.2f\n\n", hier.Name(), rep.C)
+
+	const v = 1024
+	progs := []*dbsp.Program{
+		algos.Sort(v, workload.KeyFunc(1, v, 4096)),
+		algos.DFTButterfly(v, workload.KeyFunc(2, v, 1<<20)),
+		algos.PrefixSums(v, func(p int) int64 { return int64(p) }),
+	}
+
+	fmt.Printf("%-22s %14s %14s %8s   %s\n",
+		"program", "scheduled(HMM)", "step-by-step", "gain", "touches by level (L1/L2/L3/DRAM), scheduled")
+	for _, prog := range progs {
+		sim, err := core.OnHMM(prog, hier)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive, err := hmmsim.SimulateNaive(prog, hier)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byLevel := sim.Stats.DepthByBounds(hier.Bounds)
+		var total int64
+		for _, n := range byLevel {
+			total += n
+		}
+		pct := make([]string, len(byLevel))
+		for i, n := range byLevel {
+			pct[i] = fmt.Sprintf("%.0f%%", 100*float64(n)/float64(total))
+		}
+		fmt.Printf("%-22s %14.3g %14.3g %7.1fx   %v\n",
+			prog.Name, sim.HostCost, naive.HostCost, naive.HostCost/sim.HostCost, pct)
+	}
+	fmt.Println("\nthe Figure 1 cluster schedule keeps each submachine's working set inside")
+	fmt.Println("the fast levels while the step-by-step baseline sweeps DRAM every superstep;")
+	fmt.Println("the gain tracks how fine-label-dominated each program's locality profile is")
+	fmt.Println("(largest for the sort, whose λ_i = i+1 profile is dominated by fine labels)")
+}

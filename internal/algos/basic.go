@@ -1,0 +1,187 @@
+package algos
+
+import (
+	"fmt"
+
+	"repro/internal/dbsp"
+)
+
+// Word aliases the D-BSP word type.
+type Word = dbsp.Word
+
+// carryConsume is the shared superstep preamble of the tree algorithms:
+// a processor that received a carry adds it to its running value
+// (word 0) and remembers it for forwarding (word 1).
+func carryConsume(c *dbsp.Ctx) {
+	if c.NumRecv() == 1 {
+		_, payload := c.Recv(0)
+		c.Store(1, payload)
+		c.Store(0, c.Load(0)+payload)
+	}
+}
+
+// Broadcast returns a program that copies processor 0's input value
+// (data word 0) to every processor's data word 0 by recursive doubling:
+// phase k (an i-superstep with i = k) lets the holders — the first
+// 2^k-aligned leaders — seed the other half of their k-cluster.
+// Θ(log v) supersteps with labels 0, 1, ..., log v -1, the canonical
+// geometric profile.
+func Broadcast(v int, value Word) *dbsp.Program {
+	logv := dbsp.Log2(v)
+	steps := make([]dbsp.Superstep, 0, logv+1)
+	for k := 0; k < logv; k++ {
+		k := k
+		steps = append(steps, dbsp.Superstep{Label: k, Run: func(c *dbsp.Ctx) {
+			if c.NumRecv() == 1 {
+				_, payload := c.Recv(0)
+				c.Store(0, payload)
+			}
+			cs := dbsp.ClusterSize(c.V(), k)
+			lo := (c.ID() / cs) * cs
+			if c.ID() == lo {
+				c.Send(lo+cs/2, c.Load(0))
+			}
+		}})
+	}
+	steps = append(steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {
+		if c.NumRecv() == 1 {
+			_, payload := c.Recv(0)
+			c.Store(0, payload)
+		}
+	}})
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("broadcast-v%d", v),
+		V:      v,
+		Layout: dbsp.Layout{Data: 1, MaxMsgs: 1},
+		Init: func(p int, data []Word) {
+			if p == 0 {
+				data[0] = value
+			}
+		},
+		Steps: steps,
+	}
+}
+
+// PrefixSums returns a program computing inclusive prefix sums of the
+// per-processor inputs produced by input(p): on output, data word 0 of
+// processor p holds Σ_{q<=p} input(q).
+//
+// The algorithm is the recursive combine run bottom-up: once both
+// halves of an ℓ-cluster hold their internal prefix sums, the last
+// processor of the left half sends its prefix (the left-half total) to
+// the first processor of the right half (an ℓ-superstep), and the
+// carry is then doubled across the right half with supersteps of labels
+// log v -1 down to ℓ+1, every receiver adding it to its prefix. The
+// label profile is λ_i = O(i+1), which Theorem 5 turns into the optimal
+// Θ(n^(1+α)) on x^α-HMM. Processor memory stays O(1): word 0 holds the
+// running prefix, word 1 the carry being forwarded.
+func PrefixSums(v int, input func(p int) Word) *dbsp.Program {
+	logv := dbsp.Log2(v)
+	var steps []dbsp.Superstep
+	for l := logv - 1; l >= 0; l-- {
+		l := l
+		// Seed: last-of-left-half -> first-of-right-half of each ℓ-cluster.
+		steps = append(steps, dbsp.Superstep{Label: l, Run: func(c *dbsp.Ctx) {
+			carryConsume(c) // tail of the previous level's broadcast
+			cs := dbsp.ClusterSize(c.V(), l)
+			lo := (c.ID() / cs) * cs
+			if c.ID() == lo+cs/2-1 {
+				c.Send(lo+cs/2, c.Load(0))
+			}
+		}})
+		// Double the carry across the right half: phase j holders are
+		// the first 2^j processors of the right half.
+		rsize := v >> uint(l+1)
+		for j := 0; (1 << uint(j)) < rsize; j++ {
+			j := j
+			label := logv - j - 1
+			steps = append(steps, dbsp.Superstep{Label: label, Run: func(c *dbsp.Ctx) {
+				carryConsume(c)
+				cs := dbsp.ClusterSize(c.V(), l)
+				lo := (c.ID() / cs) * cs
+				rlo := lo + cs/2
+				rel := c.ID() - rlo
+				if rel >= 0 && rel < 1<<uint(j) && rel+1<<uint(j) < cs/2 {
+					c.Send(rlo+rel+1<<uint(j), c.Load(1))
+				}
+			}})
+		}
+	}
+	steps = append(steps, dbsp.Superstep{Label: 0, Run: carryConsume})
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("prefix-v%d", v),
+		V:      v,
+		Layout: dbsp.Layout{Data: 2, MaxMsgs: 1},
+		Init: func(p int, data []Word) {
+			data[0] = input(p)
+		},
+		Steps: steps,
+	}
+}
+
+// Permute returns a program that routes each processor's value to
+// π(p) in a single 0-superstep (a 1-relation with no submachine
+// locality at all) — the contrast workload: its simulation on any
+// unbounded f pays the full f(µ·v) per message, and no scheduler can
+// avoid it. π must be a permutation of [0, v).
+func Permute(v int, pi []int, input func(p int) Word) *dbsp.Program {
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("permute-v%d", v),
+		V:      v,
+		Layout: dbsp.Layout{Data: 2, MaxMsgs: 1},
+		Init: func(p int, data []Word) {
+			data[0] = input(p)
+		},
+		Steps: []dbsp.Superstep{
+			{Label: 0, Run: func(c *dbsp.Ctx) {
+				c.Send(pi[c.ID()], c.Load(0))
+			}},
+			{Label: 0, Run: func(c *dbsp.Ctx) {
+				if c.NumRecv() == 1 {
+					_, payload := c.Recv(0)
+					c.Store(1, payload)
+				}
+			}},
+		},
+	}
+}
+
+// LocalPermute returns a hierarchical variant of Permute: phase k
+// routes within 2^k-size blocks (label log v - k supersteps), composing
+// a butterfly-structured permutation with strong submachine locality.
+// It is the locality-rich counterpart used by the slowdown experiments.
+// bits selects, per phase, whether the phase swaps the halves of each
+// block (bit set) or leaves them (bit clear).
+func LocalPermute(v int, bits uint, input func(p int) Word) *dbsp.Program {
+	logv := dbsp.Log2(v)
+	var steps []dbsp.Superstep
+	for k := 1; k <= logv; k++ {
+		k := k
+		if bits&(1<<uint(k-1)) == 0 {
+			continue
+		}
+		label := logv - k
+		steps = append(steps, dbsp.Superstep{Label: label, Run: func(c *dbsp.Ctx) {
+			if c.NumRecv() == 1 {
+				_, payload := c.Recv(0)
+				c.Store(0, payload)
+			}
+			c.Send(c.ID()^(1<<uint(k-1)), c.Load(0))
+		}})
+	}
+	steps = append(steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {
+		if c.NumRecv() == 1 {
+			_, payload := c.Recv(0)
+			c.Store(0, payload)
+		}
+	}})
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("localpermute-v%d-b%x", v, bits),
+		V:      v,
+		Layout: dbsp.Layout{Data: 1, MaxMsgs: 1},
+		Init: func(p int, data []Word) {
+			data[0] = input(p)
+		},
+		Steps: steps,
+	}
+}

@@ -1,0 +1,122 @@
+package algos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+)
+
+func TestBroadcast(t *testing.T) {
+	for _, v := range []int{1, 2, 8, 64} {
+		prog := Broadcast(v, 42)
+		res, err := dbsp.Run(prog, cost.Log{})
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		for p := 0; p < v; p++ {
+			if got := res.Contexts[p][0]; got != 42 {
+				t.Errorf("v=%d proc %d got %d, want 42", v, p, got)
+			}
+		}
+	}
+}
+
+func TestBroadcastLabelProfile(t *testing.T) {
+	prog := Broadcast(64, 1)
+	lam := prog.Lambda(true)
+	// One superstep per label 0..log v -1, plus the final consume at 0.
+	if lam[0] != 2 {
+		t.Errorf("λ_0 = %d, want 2", lam[0])
+	}
+	for i := 1; i < 6; i++ {
+		if lam[i] != 1 {
+			t.Errorf("λ_%d = %d, want 1", i, lam[i])
+		}
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 16, 128} {
+		prog := PrefixSums(v, func(p int) Word { return Word(p + 1) })
+		res, err := dbsp.Run(prog, cost.Log{})
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		for p := 0; p < v; p++ {
+			want := Word((p + 1) * (p + 2) / 2)
+			if got := res.Contexts[p][0]; got != want {
+				t.Errorf("v=%d proc %d prefix = %d, want %d", v, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSumsProperty(t *testing.T) {
+	prop := func(vals [16]int8) bool {
+		prog := PrefixSums(16, func(p int) Word { return Word(vals[p]) })
+		res, err := dbsp.Run(prog, cost.Log{})
+		if err != nil {
+			return false
+		}
+		var sum Word
+		for p := 0; p < 16; p++ {
+			sum += Word(vals[p])
+			if res.Contexts[p][0] != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	v := 16
+	pi := make([]int, v)
+	for p := range pi {
+		pi[p] = (p*5 + 3) % v // 5 coprime to 16: a permutation
+	}
+	prog := Permute(v, pi, func(p int) Word { return Word(100 + p) })
+	res, err := dbsp.Run(prog, cost.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < v; p++ {
+		if got := res.Contexts[pi[p]][1]; got != Word(100+p) {
+			t.Errorf("value of proc %d did not arrive at %d: got %d", p, pi[p], got)
+		}
+	}
+}
+
+func TestLocalPermute(t *testing.T) {
+	v := 16
+	bits := uint(0b1010) // swap on phases 2 and 4: XOR with 0b1010 = 10
+	prog := LocalPermute(v, bits, func(p int) Word { return Word(p) })
+	res, err := dbsp.Run(prog, cost.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < v; p++ {
+		// Value of proc q ends at q ^ 10; proc p holds value p ^ 10.
+		if got := res.Contexts[p][0]; got != Word(p^10) {
+			t.Errorf("proc %d got %d, want %d", p, got, p^10)
+		}
+	}
+}
+
+func TestLocalPermuteIdentity(t *testing.T) {
+	prog := LocalPermute(8, 0, func(p int) Word { return Word(p * 3) })
+	res, err := dbsp.Run(prog, cost.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		if res.Contexts[p][0] != Word(p*3) {
+			t.Errorf("identity permute moved proc %d's value", p)
+		}
+	}
+}

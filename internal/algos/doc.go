@@ -1,0 +1,19 @@
+// Package algos provides fine-grained D-BSP algorithms for the paper's
+// case-study problems (Section 3.1 and 5.3) and for auxiliary workloads:
+//
+//   - matrix multiplication with the recursive two-round schedule of
+//     Proposition 7 (Figure 3),
+//   - n-DFT with both schedules of Proposition 8: the standard butterfly
+//     (one i-superstep per level i) and the recursive √n-decomposition
+//     (2^i supersteps of label (1-1/2^i)·log n),
+//   - n-sorting by a bitonic superstep schedule with the geometric label
+//     profile required by Proposition 9 (λ_i = i+1, giving O(n^α) on
+//     D-BSP(n, O(1), x^α)),
+//   - broadcast, prefix sums and permutation routing as elementary
+//     workloads for the simulation experiments.
+//
+// All programs are fine-grained (µ = O(1) words per processor), expose
+// their communication pattern through superstep labels only (handlers
+// never read c.Label(), so smoothing relabels freely), and end with a
+// global 0-superstep as the simulators require.
+package algos

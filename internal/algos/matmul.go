@@ -1,0 +1,156 @@
+package algos
+
+import (
+	"fmt"
+
+	"repro/internal/dbsp"
+)
+
+// Matrix-multiplication data layout: processor p holds one element of
+// each matrix at the position given by the Morton (Z-order) decoding of
+// p, so that the four quadrants of every submatrix are exactly the four
+// 2-subclusters of the owning cluster — the property the recursive
+// schedule of Proposition 7 (Figure 3) relies on.
+const (
+	mmA = 0 // element of A
+	mmB = 1 // element of B
+	mmC = 2 // accumulated element of C
+)
+
+// MortonDecode splits the interleaved bits of p (of width 2·half) into
+// (row, col): bit pairs from the most significant down select the
+// quadrant 2·rowBit + colBit.
+func MortonDecode(p, logn int) (row, col int) {
+	for i := logn - 2; i >= 0; i -= 2 {
+		row = row<<1 | (p>>uint(i+1))&1
+		col = col<<1 | (p>>uint(i))&1
+	}
+	return row, col
+}
+
+// MortonEncode is the inverse of MortonDecode.
+func MortonEncode(row, col, logn int) int {
+	p := 0
+	for i := logn/2 - 1; i >= 0; i-- {
+		p = p<<2 | ((row>>uint(i))&1)<<1 | (col>>uint(i))&1
+	}
+	return p
+}
+
+// MatMul returns the n-MM program of Proposition 7: n processors (n a
+// power of 4) multiply two √n×√n integer matrices with semiring
+// operations. a(r,c) and b(r,c) provide the inputs; on termination the
+// processor at Morton position (r,c) holds C[r][c] in data word mmC.
+//
+// The schedule is the two-round recursive decomposition of Figure 3:
+// each level-L cluster (L even) swaps A-quadrants between its
+// subclusters 2,3 and B-quadrants between 1,3 (round one:
+// C11+=A11·B11, C12+=A12·B22, C21+=A22·B21, C22+=A21·B12), recurses,
+// restores, swaps A between 0,1 and B between 0,2 (round two), recurses
+// and restores. All routing permutations are involutions, so a receiver
+// always gets its new element from exactly the processor it sent to.
+// The program uses Θ(2^i) supersteps of label 2i for 0 <= i <
+// log(n)/2, giving T(n) = 2T(n/4) + Θ(g(µn)) as in the proposition.
+func MatMul(n int, a, b func(r, c int) Word) *dbsp.Program {
+	logn := dbsp.Log2(n)
+	if logn%2 != 0 {
+		panic(fmt.Sprintf("algos: MatMul needs n = 4^k, got %d", n))
+	}
+	prog := &dbsp.Program{
+		Name:   fmt.Sprintf("matmul-n%d", n),
+		V:      n,
+		Layout: dbsp.Layout{Data: 3, MaxMsgs: 2},
+		Init: func(p int, data []Word) {
+			r, c := MortonDecode(p, logn)
+			data[mmA] = a(r, c)
+			data[mmB] = b(r, c)
+		},
+	}
+	genMM(prog, 0, logn)
+	prog.Steps = append(prog.Steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {}})
+	return prog
+}
+
+// mmQuadrant returns the index (0..3) of p's 2-subcluster within its
+// level-L cluster, and p's relative position within that subcluster.
+func mmQuadrant(v, L, p int) (q, rel, lo int) {
+	cs := dbsp.ClusterSize(v, L)
+	lo = (p / cs) * cs
+	q = (p - lo) / (cs / 4)
+	rel = (p - lo) % (cs / 4)
+	return q, rel, lo
+}
+
+// mmSwapStep emits one routing superstep at label L: quadrants aq1 and
+// aq2 exchange A elements, bq1 and bq2 exchange B elements (an
+// involution, at most 2 messages per processor).
+func mmSwapStep(prog *dbsp.Program, L, aq1, aq2, bq1, bq2 int) {
+	prog.Steps = append(prog.Steps, dbsp.Superstep{Label: L, Run: func(c *dbsp.Ctx) {
+		q, rel, lo := mmQuadrant(c.V(), L, c.ID())
+		quarter := dbsp.ClusterSize(c.V(), L) / 4
+		switch q {
+		case aq1:
+			c.Send(lo+aq2*quarter+rel, c.Load(mmA))
+		case aq2:
+			c.Send(lo+aq1*quarter+rel, c.Load(mmA))
+		}
+		switch q {
+		case bq1:
+			c.Send(lo+bq2*quarter+rel, c.Load(mmB))
+		case bq2:
+			c.Send(lo+bq1*quarter+rel, c.Load(mmB))
+		}
+	}})
+	// Matching receive step: a processor in an A-swap quadrant gets its
+	// new A from the partner quadrant, and likewise for B; when it is
+	// in both swaps, messages are matched by sender id.
+	prog.Steps = append(prog.Steps, dbsp.Superstep{Label: L + 2, Run: func(c *dbsp.Ctx) {
+		q, rel, lo := mmQuadrant(c.V(), L, c.ID())
+		quarter := dbsp.ClusterSize(c.V(), L) / 4
+		aSrc, bSrc := -1, -1
+		switch q {
+		case aq1:
+			aSrc = lo + aq2*quarter + rel
+		case aq2:
+			aSrc = lo + aq1*quarter + rel
+		}
+		switch q {
+		case bq1:
+			bSrc = lo + bq2*quarter + rel
+		case bq2:
+			bSrc = lo + bq1*quarter + rel
+		}
+		for k := 0; k < c.NumRecv(); k++ {
+			src, payload := c.Recv(k)
+			switch src {
+			case aSrc:
+				c.Store(mmA, payload)
+			case bSrc:
+				c.Store(mmB, payload)
+			default:
+				panic(fmt.Sprintf("algos: matmul: unexpected message from %d", src))
+			}
+		}
+	}})
+}
+
+// genMM emits the supersteps multiplying the submatrices owned by every
+// level-L cluster (cluster size m = v/2^L processors).
+func genMM(prog *dbsp.Program, L, logn int) {
+	if dbsp.ClusterSize(prog.V, L) == 1 {
+		// Leaf: C += A·B on the single held elements.
+		prog.Steps = append(prog.Steps, dbsp.Superstep{Label: logn, Run: func(c *dbsp.Ctx) {
+			c.Store(mmC, c.Load(mmC)+c.Load(mmA)*c.Load(mmB))
+			c.Work(1)
+		}})
+		return
+	}
+	// Round one: A: swap(2,3), B: swap(1,3).
+	mmSwapStep(prog, L, 2, 3, 1, 3)
+	genMM(prog, L+2, logn)
+	mmSwapStep(prog, L, 2, 3, 1, 3) // restore (involution)
+	// Round two: A: swap(0,1), B: swap(0,2).
+	mmSwapStep(prog, L, 0, 1, 0, 2)
+	genMM(prog, L+2, logn)
+	mmSwapStep(prog, L, 0, 1, 0, 2) // restore
+}

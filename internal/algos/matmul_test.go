@@ -1,0 +1,146 @@
+package algos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+)
+
+func TestMortonRoundTrip(t *testing.T) {
+	for logn := 2; logn <= 8; logn += 2 {
+		n := 1 << uint(logn)
+		side := 1 << uint(logn/2)
+		seen := make(map[int]bool)
+		for p := 0; p < n; p++ {
+			r, c := MortonDecode(p, logn)
+			if r < 0 || r >= side || c < 0 || c >= side {
+				t.Fatalf("logn=%d p=%d: decode (%d,%d) out of range", logn, p, r, c)
+			}
+			if back := MortonEncode(r, c, logn); back != p {
+				t.Fatalf("logn=%d: encode(decode(%d)) = %d", logn, p, back)
+			}
+			key := r*side + c
+			if seen[key] {
+				t.Fatalf("logn=%d: position (%d,%d) hit twice", logn, r, c)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestMortonQuadrants(t *testing.T) {
+	// The four quadrants of the matrix must be the four contiguous
+	// quarters of the processor range (the 2-subclusters).
+	logn := 4 // 4x4 matrix, 16 procs
+	for p := 0; p < 16; p++ {
+		r, c := MortonDecode(p, logn)
+		q := p / 4
+		wantRowHi := q >= 2
+		wantColHi := q == 1 || q == 3
+		if (r >= 2) != wantRowHi || (c >= 2) != wantColHi {
+			t.Errorf("p=%d q=%d -> (%d,%d): wrong quadrant", p, q, r, c)
+		}
+	}
+}
+
+// mmCheck runs the MatMul program natively and compares every C element
+// against the direct cubic product.
+func mmCheck(t *testing.T, n int, a, b func(r, c int) Word) {
+	t.Helper()
+	prog := MatMul(n, a, b)
+	res, err := dbsp.Run(prog, cost.Log{})
+	if err != nil {
+		t.Fatalf("n=%d: %v", n, err)
+	}
+	logn := dbsp.Log2(n)
+	side := 1 << uint(logn/2)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			var want Word
+			for k := 0; k < side; k++ {
+				want += a(r, k) * b(k, c)
+			}
+			p := MortonEncode(r, c, logn)
+			if got := res.Contexts[p][mmC]; got != want {
+				t.Errorf("n=%d C[%d][%d] = %d, want %d", n, r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	id := func(r, c int) Word {
+		if r == c {
+			return 1
+		}
+		return 0
+	}
+	val := func(r, c int) Word { return Word(3*r + c + 1) }
+	mmCheck(t, 16, id, val)
+	mmCheck(t, 16, val, id)
+}
+
+func TestMatMulSizes(t *testing.T) {
+	a := func(r, c int) Word { return Word(r + 2*c + 1) }
+	b := func(r, c int) Word { return Word(2*r - c + 3) }
+	for _, n := range []int{4, 16, 64, 256} {
+		mmCheck(t, n, a, b)
+	}
+}
+
+func TestMatMulSingleProc(t *testing.T) {
+	mmCheck(t, 1, func(r, c int) Word { return 7 }, func(r, c int) Word { return 6 })
+}
+
+func TestMatMulRejectsOddLog(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul(8) did not panic (log n odd)")
+		}
+	}()
+	MatMul(8, func(r, c int) Word { return 0 }, func(r, c int) Word { return 0 })
+}
+
+func TestMatMulLabelProfile(t *testing.T) {
+	prog := MatMul(64, func(r, c int) Word { return 1 }, func(r, c int) Word { return 1 })
+	lam := prog.Lambda(true)
+	// Θ(2^i) supersteps of label 2i: 6 at label 0, 12 at label 2, ...
+	if lam[0] == 0 || lam[2] == 0 || lam[4] == 0 {
+		t.Errorf("expected supersteps at labels 0,2,4: λ = %v", lam)
+	}
+	if lam[1] != 0 || lam[3] != 0 {
+		t.Errorf("unexpected odd-label supersteps: λ = %v", lam)
+	}
+	if !(lam[2] > lam[0]) || !(lam[4] > lam[2]) {
+		t.Errorf("label counts not geometric: λ = %v", lam)
+	}
+}
+
+func TestMatMulProperty(t *testing.T) {
+	prop := func(seedA, seedB int8) bool {
+		a := func(r, c int) Word { return Word(seedA) + Word(r*c) }
+		b := func(r, c int) Word { return Word(seedB) - Word(r+c) }
+		prog := MatMul(16, a, b)
+		res, err := dbsp.Run(prog, cost.Log{})
+		if err != nil {
+			return false
+		}
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				var want Word
+				for k := 0; k < 4; k++ {
+					want += a(r, k) * b(k, c)
+				}
+				if res.Contexts[MortonEncode(r, c, 4)][mmC] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package algos
+
+// Modular arithmetic over the NTT-friendly prime P = 15·2^27 + 1. The
+// n-DFT programs of Proposition 8 run over this field so that every
+// transform value fits a single D-BSP message word and results can be
+// verified exactly against a direct DFT.
+const (
+	// P is the field modulus, prime with P-1 divisible by 2^27.
+	P = 15*(1<<27) + 1
+	// PrimitiveRoot generates the multiplicative group of Z_P.
+	PrimitiveRoot = 31
+	// MaxOrder is the largest power-of-two order of a root of unity in
+	// Z_P: 2^27.
+	MaxOrder = 1 << 27
+)
+
+// ModAdd returns (a + b) mod P for a, b in [0, P).
+func ModAdd(a, b Word) Word {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// ModSub returns (a - b) mod P for a, b in [0, P).
+func ModSub(a, b Word) Word {
+	d := a - b
+	if d < 0 {
+		d += P
+	}
+	return d
+}
+
+// ModMul returns (a · b) mod P. Operands fit in 31 bits, so the product
+// fits in 62 bits without overflow.
+func ModMul(a, b Word) Word { return a * b % P }
+
+// ModPow returns base^exp mod P for exp >= 0.
+func ModPow(base, exp Word) Word {
+	base %= P
+	if base < 0 {
+		base += P
+	}
+	result := Word(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = ModMul(result, base)
+		}
+		base = ModMul(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+// RootOfUnity returns a primitive n-th root of unity in Z_P. n must be
+// a power of two not exceeding MaxOrder.
+func RootOfUnity(n int) Word {
+	if n < 1 || n&(n-1) != 0 || n > MaxOrder {
+		panic("algos: RootOfUnity needs a power-of-two order <= 2^27")
+	}
+	return ModPow(PrimitiveRoot, Word((P-1)/int64(n)))
+}
+
+// DirectDFT computes the n-point DFT of x over Z_P in O(n²) time:
+// X[k] = Σ_j x[j]·ω^(jk) with ω = RootOfUnity(n). It is the oracle the
+// D-BSP DFT programs are verified against.
+func DirectDFT(x []Word) []Word {
+	n := len(x)
+	omega := RootOfUnity(n)
+	out := make([]Word, n)
+	for k := 0; k < n; k++ {
+		wk := ModPow(omega, Word(k))
+		var acc, w Word = 0, 1
+		for j := 0; j < n; j++ {
+			acc = ModAdd(acc, ModMul(x[j], w))
+			w = ModMul(w, wk)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// BitReverse returns the logn-bit reversal of k.
+func BitReverse(k, logn int) int {
+	r := 0
+	for i := 0; i < logn; i++ {
+		r = r<<1 | (k>>uint(i))&1
+	}
+	return r
+}

@@ -1,0 +1,217 @@
+package algos
+
+import (
+	"fmt"
+
+	"repro/internal/dbsp"
+)
+
+// ReduceOp is a word-level associative operation for Reduce.
+type ReduceOp int
+
+// Supported reduction operations.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	default:
+		return "min"
+	}
+}
+
+func (op ReduceOp) apply(a, b Word) Word {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+// Reduce returns a program combining the per-processor inputs with the
+// given associative operation, leaving the result on processor 0 (data
+// word 0) — the canonical tree pattern: one i-superstep per level i
+// from the finest clusters upward, each halving the number of active
+// processors. On D-BSP(v, O(1), x^α) it costs Θ(v^α); its HMM
+// simulation is the optimal Θ(v·f(v)) touching bound, since every input
+// must be examined (Fact 1).
+func Reduce(v int, op ReduceOp, input func(p int) Word) *dbsp.Program {
+	logv := dbsp.Log2(v)
+	steps := make([]dbsp.Superstep, 0, logv+1)
+	for l := logv - 1; l >= 0; l-- {
+		l := l
+		steps = append(steps, dbsp.Superstep{Label: l, Run: func(c *dbsp.Ctx) {
+			// Fold the previous level's partial result first.
+			if c.NumRecv() == 1 {
+				_, payload := c.Recv(0)
+				c.Store(0, op.apply(c.Load(0), payload))
+			}
+			// The leader of the right half of each l-cluster sends its
+			// partial to the left half's leader.
+			cs := dbsp.ClusterSize(c.V(), l)
+			lo := (c.ID() / cs) * cs
+			if c.ID() == lo+cs/2 {
+				c.Send(lo, c.Load(0))
+			}
+		}})
+	}
+	steps = append(steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {
+		if c.NumRecv() == 1 {
+			_, payload := c.Recv(0)
+			c.Store(0, op.apply(c.Load(0), payload))
+		}
+	}})
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("reduce-%s-v%d", op, v),
+		V:      v,
+		Layout: dbsp.Layout{Data: 1, MaxMsgs: 1},
+		Init: func(p int, data []Word) {
+			data[0] = input(p)
+		},
+		Steps: steps,
+	}
+}
+
+// MatVec returns a program computing y = A·x for a √n×√n matrix on n
+// processors: the processor at Morton position (r, c) holds A[r][c] and
+// x[c] is replicated along column c... concretely, processor (r, c)
+// starts with A[r][c]·x[c] (the Init computes the product locally from
+// the provided generators) and the program row-reduces: each row —
+// which under the Morton layout is NOT a contiguous cluster — is summed
+// by folding along the column bits, one label-2i superstep pair per
+// level, mirroring the MatMul cluster structure. The result y[r] ends
+// on the processor at Morton position (r, 0) in data word 0.
+func MatVec(n int, a func(r, c int) Word, x func(c int) Word) *dbsp.Program {
+	logn := dbsp.Log2(n)
+	if logn%2 != 0 {
+		panic(fmt.Sprintf("algos: MatVec needs n = 4^k, got %d", n))
+	}
+	side := 1 << uint(logn/2)
+	prog := &dbsp.Program{
+		Name:   fmt.Sprintf("matvec-n%d", n),
+		V:      n,
+		Layout: dbsp.Layout{Data: 1, MaxMsgs: 1},
+		Init: func(p int, data []Word) {
+			r, c := MortonDecode(p, logn)
+			data[0] = a(r, c) * x(c)
+		},
+	}
+	// Fold along column bits: partner differs in column bit k (the
+	// Morton bit 2k); pairs share the (logn-2k-1)-cluster... they
+	// differ in Morton bit 2k, so their common cluster has size
+	// 2^(2k+1): label logn-2k-1.
+	for k := 0; k < logn/2; k++ {
+		k := k
+		bit := 1 << uint(2*k) // Morton bit of column bit k
+		label := logn - 2*k - 1
+		prog.Steps = append(prog.Steps, dbsp.Superstep{Label: label, Run: func(c *dbsp.Ctx) {
+			_, col := MortonDecode(c.ID(), logn)
+			if col&(1<<uint(k)) != 0 && col&((1<<uint(k))-1) == 0 {
+				c.Send(c.ID()^bit, c.Load(0))
+			}
+		}})
+		prog.Steps = append(prog.Steps, dbsp.Superstep{Label: min(label+1, logn), Run: func(c *dbsp.Ctx) {
+			if c.NumRecv() == 1 {
+				_, payload := c.Recv(0)
+				c.Store(0, c.Load(0)+payload)
+			}
+		}})
+	}
+	prog.Steps = append(prog.Steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {}})
+	_ = side
+	return prog
+}
+
+// Stencil1D returns a program running iters rounds of a three-point
+// relaxation x_p <- (x_{p-1} + 2·x_p + x_{p+1}) / 4 (integer division)
+// with reflecting boundaries — the archetypal nearest-neighbour
+// workload whose communication is almost entirely confined to the
+// finest clusters: per round, only one exchange in (log v -1)-clusters
+// plus the cluster-boundary traffic at coarser levels.
+//
+// Each round uses one superstep per level from log v -1 down (sending
+// to both neighbours where the neighbour lies in the matching cluster),
+// but since |p - (p±1)| = 1, neighbours p and p+1 share the finest
+// cluster containing both — which depends on p's alignment. To keep the
+// profile honest, each round sends at the level of the *actual* common
+// cluster of each neighbour pair: label(p, p+1) = log v - 1 for even p,
+// coarser for boundary-crossing pairs. The round is organised as log v
+// supersteps, level ℓ handling exactly the pairs whose common cluster
+// is an ℓ-cluster.
+func Stencil1D(v, iters int, input func(p int) Word) *dbsp.Program {
+	logv := dbsp.Log2(v)
+	prog := &dbsp.Program{
+		Name:   fmt.Sprintf("stencil1d-v%d-i%d", v, iters),
+		V:      v,
+		Layout: dbsp.Layout{Data: 3, MaxMsgs: 2},
+		Init: func(p int, data []Word) {
+			data[0] = input(p)
+		},
+	}
+	// pairLevel(p) = label of the smallest cluster containing p and p+1.
+	pairLevel := func(p int) int {
+		// p and p+1 differ first at bit b where b = count of trailing
+		// ones of p; their common cluster has size 2^(b+1).
+		b := 0
+		for q := p; q&1 == 1; q >>= 1 {
+			b++
+		}
+		return logv - b - 1
+	}
+	for it := 0; it < iters; it++ {
+		// Phase ℓ: pairs (p, p+1) whose common cluster is an ℓ-cluster
+		// exchange values, finest level first.
+		for l := logv - 1; l >= 0; l-- {
+			l := l
+			prog.Steps = append(prog.Steps, dbsp.Superstep{Label: l, Run: func(c *dbsp.Ctx) {
+				p := c.ID()
+				if p+1 < c.V() && pairLevel(p) == l {
+					c.Send(p+1, c.Load(0))
+				}
+				if p-1 >= 0 && pairLevel(p-1) == l {
+					c.Send(p-1, c.Load(0))
+				}
+			}})
+			prog.Steps = append(prog.Steps, dbsp.Superstep{Label: l, Run: func(c *dbsp.Ctx) {
+				for k := 0; k < c.NumRecv(); k++ {
+					src, payload := c.Recv(k)
+					if src == c.ID()-1 {
+						c.Store(1, payload)
+					} else {
+						c.Store(2, payload)
+					}
+				}
+			}})
+		}
+		// Relaxation step (local; reflecting boundaries reuse own value).
+		prog.Steps = append(prog.Steps, dbsp.Superstep{Label: logv, Run: func(c *dbsp.Ctx) {
+			left, right := c.Load(1), c.Load(2)
+			if c.ID() == 0 {
+				left = c.Load(0)
+			}
+			if c.ID() == c.V()-1 {
+				right = c.Load(0)
+			}
+			c.Store(0, (left+2*c.Load(0)+right)/4)
+			c.Work(3)
+		}})
+	}
+	prog.Steps = append(prog.Steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {}})
+	return prog
+}

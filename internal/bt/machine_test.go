@@ -1,0 +1,182 @@
+package bt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func TestBlockCopyMovesWords(t *testing.T) {
+	m := New(cost.Const{C: 1}, 32)
+	for i := int64(0); i < 4; i++ {
+		m.Poke(i, Word(i+1))
+	}
+	m.BlockCopy(3, 19, 4) // [0,3] -> [16,19]
+	for i := int64(0); i < 4; i++ {
+		if got := m.Peek(16 + i); got != Word(i+1) {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i+1)
+		}
+		if got := m.Peek(i); got != Word(i+1) {
+			t.Fatalf("src[%d] clobbered: %d", i, got)
+		}
+	}
+}
+
+func TestBlockCopyCost(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	m := New(f, 1024)
+	m.BlockCopy(99, 899, 50)
+	want := math.Max(f.Cost(99), f.Cost(899)) + 50
+	if math.Abs(m.Cost()-want) > 1e-9 {
+		t.Errorf("cost = %g, want max(f(99),f(899))+50 = %g", m.Cost(), want)
+	}
+	bs := m.BlockStats()
+	if bs.Copies != 1 || bs.Words != 50 || math.Abs(bs.Cost-want) > 1e-9 {
+		t.Errorf("BlockStats = %+v, want 1 copy, 50 words, cost %g", bs, want)
+	}
+}
+
+func TestBlockCopyRejectsBadArgs(t *testing.T) {
+	cases := []func(m *Machine){
+		func(m *Machine) { m.BlockCopy(3, 19, 0) },   // b < 1
+		func(m *Machine) { m.BlockCopy(3, 5, 4) },    // overlap
+		func(m *Machine) { m.BlockCopy(2, 19, 4) },   // src underflow
+		func(m *Machine) { m.BlockCopy(3, 100, 4) },  // dst out of range
+		func(m *Machine) { m.BlockCopy(100, 50, 4) }, // src out of range
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn(New(cost.Const{C: 1}, 32))
+		}()
+	}
+}
+
+func TestBlockCopyAdjacentIsNotOverlap(t *testing.T) {
+	m := New(cost.Const{C: 1}, 32)
+	m.Poke(0, 7)
+	m.BlockCopy(3, 7, 4) // [0,3] -> [4,7]: adjacent, disjoint
+	if m.Peek(4) != 7 {
+		t.Error("adjacent copy failed")
+	}
+}
+
+func TestCopyRange(t *testing.T) {
+	m := New(cost.Const{C: 1}, 32)
+	for i := int64(0); i < 5; i++ {
+		m.Poke(10+i, Word(i)*2)
+	}
+	m.CopyRange(10, 20, 5)
+	for i := int64(0); i < 5; i++ {
+		if m.Peek(20+i) != Word(i)*2 {
+			t.Fatalf("CopyRange mismatch at %d", i)
+		}
+	}
+}
+
+func TestSwapRangeBT(t *testing.T) {
+	m := New(cost.Const{C: 1}, 64)
+	for i := int64(0); i < 8; i++ {
+		m.Poke(i, Word(i+1))
+		m.Poke(16+i, Word(100+i))
+	}
+	m.SwapRangeBT(0, 16, 8, 32)
+	for i := int64(0); i < 8; i++ {
+		if m.Peek(i) != Word(100+i) || m.Peek(16+i) != Word(i+1) {
+			t.Fatalf("SwapRangeBT mismatch at %d: %d %d", i, m.Peek(i), m.Peek(16+i))
+		}
+	}
+	if got := m.BlockStats().Copies; got != 3 {
+		t.Errorf("SwapRangeBT used %d block copies, want 3", got)
+	}
+	m.SwapRangeBT(0, 16, 0, 32) // n == 0 is a no-op
+	if got := m.BlockStats().Copies; got != 3 {
+		t.Errorf("zero-length swap performed copies")
+	}
+}
+
+// Fact 2: touching n cells on f(x)-BT costs Θ(n f*(n)) — enormously less
+// than the HMM's Θ(n f(n)).
+func TestTouchFact2Shape(t *testing.T) {
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		var lo, hi float64 = math.Inf(1), 0
+		for n := int64(1 << 10); n <= 1<<18; n *= 4 {
+			m := New(f, n)
+			m.Touch(n)
+			ratio := m.Cost() / (float64(n) * float64(cost.FStar(f, n)))
+			if ratio < lo {
+				lo = ratio
+			}
+			if ratio > hi {
+				hi = ratio
+			}
+		}
+		if lo <= 0 || hi/lo > 6 {
+			t.Errorf("%s: Fact 2 ratio drifts: lo=%g hi=%g", f.Name(), lo, hi)
+		}
+	}
+}
+
+func TestTouchBeatsHMMTouch(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	n := int64(1 << 16)
+	m := New(f, n)
+	m.Touch(n)
+	hmmCost := cost.TouchHMM(f, n) // Θ(n f(n)) = Θ(n^1.5)
+	if m.Cost() >= hmmCost/4 {
+		t.Errorf("BT touch %g not clearly below HMM touch %g", m.Cost(), hmmCost)
+	}
+}
+
+func TestTouchSmallN(t *testing.T) {
+	m := New(cost.Log{}, 16)
+	m.Touch(3)
+	if m.Stats().Reads != 3 {
+		t.Errorf("Touch(3) reads = %d, want 3 direct reads", m.Stats().Reads)
+	}
+}
+
+func TestTouchTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Touch beyond size did not panic")
+		}
+	}()
+	New(cost.Log{}, 8).Touch(9)
+}
+
+func TestResetStatsClearsBlocks(t *testing.T) {
+	m := New(cost.Const{C: 1}, 32)
+	m.BlockCopy(3, 19, 4)
+	m.ResetStats()
+	if m.Cost() != 0 || m.BlockStats().Copies != 0 {
+		t.Error("ResetStats did not clear block stats")
+	}
+}
+
+// Property: BlockCopy preserves source content and copies exactly b words.
+func TestBlockCopyProperty(t *testing.T) {
+	prop := func(rawB uint8, seed int64) bool {
+		b := int64(rawB%16) + 1
+		m := New(cost.Log{}, 64)
+		for i := int64(0); i < b; i++ {
+			m.Poke(i, seed+Word(i))
+		}
+		m.BlockCopy(b-1, 32+b-1, b)
+		for i := int64(0); i < b; i++ {
+			if m.Peek(i) != seed+Word(i) || m.Peek(32+i) != seed+Word(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package bt
+
+import "fmt"
+
+// Restricted wraps a BT machine as the paper's restricted variant
+// (Section 2): "f(x)-BT can be simulated with constant slowdown by a
+// restricted version of the model which in time f(x) allows only to
+// transfer f(x) consecutive cells between non-overlapping regions of
+// maximum address x" — the variant the paper argues current memory
+// systems already approximate (cache lines × outstanding requests).
+//
+// Restricted.BlockCopy accepts arbitrary block lengths but executes
+// them as a sequence of at-most-⌈f(x)⌉-cell transfers, each charged the
+// full max(f(x), f(y)) + piece cost. CompareUnrestricted quantifies the
+// paper's constant-slowdown claim mechanically.
+type Restricted struct {
+	*Machine
+}
+
+// NewRestricted returns a restricted f(x)-BT machine with size words.
+func NewRestricted(f costFunc, size int64) *Restricted {
+	return &Restricted{Machine: New(f, size)}
+}
+
+// costFunc matches cost.Func without importing it twice.
+type costFunc interface {
+	Cost(x int64) float64
+	Name() string
+}
+
+// BlockCopy performs the block transfer in restricted pieces: each
+// piece moves at most ⌈max(f(x), f(y))⌉ cells and is charged like a
+// full transfer of its own. For (2,c)-uniform f the total stays within
+// a constant factor of the unrestricted cost max(f(x), f(y)) + b.
+func (r *Restricted) BlockCopy(x, y, b int64) {
+	if b < 1 {
+		panic(fmt.Sprintf("bt: restricted BlockCopy with b=%d < 1", b))
+	}
+	f := r.AccessFunc()
+	piece := int64(f.Cost(x))
+	if p2 := int64(f.Cost(y)); p2 > piece {
+		piece = p2
+	}
+	if piece < 1 {
+		piece = 1
+	}
+	for done := int64(0); done < b; {
+		n := piece
+		if b-done < n {
+			n = b - done
+		}
+		// Transfer the piece ending n cells below the current ends.
+		r.Machine.BlockCopy(x-done, y-done, n)
+		done += n
+	}
+}
+
+// CopyRange is the range-start form of the restricted BlockCopy.
+func (r *Restricted) CopyRange(src, dst, n int64) {
+	r.BlockCopy(src+n-1, dst+n-1, n)
+}
+
+// Touch runs the Fact 2 touching schedule on the restricted machine:
+// the recursion of Machine.Touch issues its chunk transfers through the
+// restricted BlockCopy.
+func (r *Restricted) Touch(n int64) {
+	if n > r.Size() {
+		panic(fmt.Sprintf("bt: Touch(%d) exceeds memory size %d", n, r.Size()))
+	}
+	r.touchRestricted(n)
+}
+
+func (r *Restricted) touchRestricted(n int64) {
+	const base = 4
+	if n <= base {
+		for x := int64(0); x < n; x++ {
+			r.Read(x)
+		}
+		return
+	}
+	f := r.AccessFunc()
+	c := int64(f.Cost(n))
+	if c < 1 {
+		c = 1
+	}
+	if c > n/2 {
+		c = n / 2
+	}
+	r.touchRestricted(c)
+	for s := c; s < n; s += c {
+		b := c
+		if s+b > n {
+			b = n - s
+		}
+		r.CopyRange(s, 0, b)
+		r.touchRestricted(b)
+	}
+}

@@ -1,0 +1,78 @@
+package bt
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestRestrictedBlockCopyMovesWords(t *testing.T) {
+	r := NewRestricted(cost.Poly{Alpha: 0.5}, 4096)
+	for i := int64(0); i < 100; i++ {
+		r.Poke(i, Word(i+1))
+	}
+	r.CopyRange(0, 2000, 100)
+	for i := int64(0); i < 100; i++ {
+		if got := r.Peek(2000 + i); got != Word(i+1) {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+	// The restricted transfer uses multiple pieces for a 100-cell block
+	// when f(x) < 100.
+	if r.BlockStats().Copies < 2 {
+		t.Errorf("expected multiple restricted pieces, got %d", r.BlockStats().Copies)
+	}
+}
+
+// The Section 2 claim: the restricted model simulates the full model
+// with constant slowdown. Compare the charged cost of the same big
+// transfers on both machines across sizes: the ratio must stay bounded.
+func TestRestrictedConstantSlowdown(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	var prev float64
+	for _, b := range []int64{1 << 8, 1 << 12, 1 << 16} {
+		full := New(f, 4*b)
+		full.CopyRange(0, 2*b, b)
+		restr := NewRestricted(f, 4*b)
+		restr.CopyRange(0, 2*b, b)
+		ratio := restr.Cost() / full.Cost()
+		if ratio < 1 {
+			t.Errorf("b=%d: restricted (%g) cheaper than full (%g)?", b, restr.Cost(), full.Cost())
+		}
+		if ratio > 6 {
+			t.Errorf("b=%d: restricted slowdown %.2f not constant-ish", b, ratio)
+		}
+		if prev > 0 && ratio > 2.5*prev {
+			t.Errorf("b=%d: slowdown %.2f growing too fast (prev %.2f)", b, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+// Touching on the restricted machine keeps the Fact 2 shape.
+func TestRestrictedTouchShape(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	var prev float64
+	for _, n := range []int64{1 << 12, 1 << 16} {
+		r := NewRestricted(f, n)
+		r.Touch(n)
+		perCell := r.Cost() / float64(n)
+		if prev > 0 && perCell > 2.5*prev {
+			t.Errorf("n=%d: per-cell restricted touch cost %.2f grew too fast (prev %.2f)", n, perCell, prev)
+		}
+		prev = perCell
+		// And it stays far below the HMM's Θ(n·f(n)).
+		if r.Cost() > float64(n)*f.Cost(n)/4 {
+			t.Errorf("n=%d: restricted touch %g not clearly below HMM touch", n, r.Cost())
+		}
+	}
+}
+
+func TestRestrictedRejectsBadB(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("restricted BlockCopy b=0 accepted")
+		}
+	}()
+	NewRestricted(cost.Log{}, 64).BlockCopy(3, 19, 0)
+}

@@ -1,0 +1,102 @@
+package btsim
+
+import (
+	"fmt"
+
+	"repro/internal/bt"
+)
+
+// alignSentinel marks unused element slots; real context ids must stay
+// below it.
+const alignSentinel = int64(1) << 40
+
+// Align implements the paper's ALIGN(n) subroutine (Section 5.2.1).
+// After the sorting step of the paper's delivery phase, context sizes
+// have changed, so the j-th context must be moved back to start at
+// block j. Our delivery keeps contexts fixed-size and does not need
+// this pass; Align is provided (and tested) as part of the complete
+// Section 5 toolkit.
+//
+// Memory contract (n a power of two, µ even):
+//
+//	[0, X)            the packed contexts: 2-word elements (id, value),
+//	                  ids nondecreasing, run j = elements with id j,
+//	                  each run at most µ/2 elements;
+//	[X, n·µ)          sentinel words (>= alignSentinel);
+//	[n·µ, 2n·µ)       free working space;
+//	[2n·µ, 2n·µ+n·µ/2) a read-only pool of sentinel words.
+//
+// On return, run j starts at block j (address j·µ); words between a
+// run's end and the next block boundary are unspecified. Running time
+// O(µ·n·log(µ·n)): each level locates the median run by binary search
+// and performs O(1) block transfers of O(µ·n) words.
+func Align(m *bt.Machine, mu, n int64) {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("btsim: Align needs a power-of-two context count, got %d", n))
+	}
+	if mu%2 != 0 {
+		panic(fmt.Sprintf("btsim: Align needs an even block size, got %d", mu))
+	}
+	a := aligner{m: m, mu: mu, pool: 2 * n * mu}
+	a.align(0, n)
+}
+
+type aligner struct {
+	m    *bt.Machine
+	mu   int64
+	pool int64 // sentinel pool address
+}
+
+// align realigns runs [firstID, firstID+n), packed at the top of
+// memory with a sentinel tail inside [0, n·µ) and free space at block n.
+func (a *aligner) align(firstID, n int64) {
+	if n == 1 {
+		return
+	}
+	mu := a.mu
+	half := n / 2
+	// Locate the first element of run firstID+half (the region is
+	// monotone by the contract, sentinels acting as +infinity).
+	split := a.lowerBound(n*mu, firstID+half)
+	// The upper-half runs end where the sentinels begin.
+	end := a.lowerBound(n*mu, alignSentinel)
+	upperLen := end - split
+	// Stash the upper half in the free region at block n.
+	if upperLen > 0 {
+		a.m.CopyRange(split, n*mu, upperLen)
+	}
+	// Blank the vacated region so the lower half keeps a sentinel tail.
+	if split < half*mu {
+		a.m.CopyRange(a.pool, split, half*mu-split)
+	}
+	// Align the lower half; its free space is [half·µ, n·µ).
+	a.align(firstID, half)
+	// Swap the aligned lower half with the stashed upper half (three
+	// block transfers via the scratch at [half·µ, n·µ)).
+	a.m.SwapRangeBT(0, n*mu, half*mu, half*mu)
+	// Restore the sentinel tail above the packed upper half.
+	if upperLen < half*mu {
+		a.m.CopyRange(a.pool, upperLen, half*mu-upperLen)
+	}
+	// Align the upper half.
+	a.align(firstID+half, half)
+	// Recombine: upper half to blocks [half, n), lower half back on top.
+	a.m.CopyRange(0, half*mu, half*mu)
+	a.m.CopyRange(n*mu, 0, half*mu)
+}
+
+// lowerBound returns the word offset of the first element (elements are
+// 2 words) in [0, limit) whose id is >= id; the ids in the region are
+// nondecreasing with sentinel padding.
+func (a *aligner) lowerBound(limit int64, id int64) int64 {
+	lo, hi := int64(0), limit/2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.m.Read(2*mid) < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return 2 * lo
+}

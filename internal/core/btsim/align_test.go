@@ -1,0 +1,133 @@
+package btsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bt"
+	"repro/internal/cost"
+)
+
+// buildAlignFixture packs runs of the given lengths (run j has id j,
+// values 1000·j + k) at the top of a machine satisfying the Align
+// memory contract, and returns the machine.
+func buildAlignFixture(f cost.Func, mu int64, lens []int) *bt.Machine {
+	n := int64(len(lens))
+	m := bt.New(f, 2*n*mu+n*mu/2+16)
+	// Sentinel-fill the packed region and the pool.
+	for x := int64(0); x < n*mu; x++ {
+		m.Poke(x, alignSentinel)
+	}
+	for x := 2 * n * mu; x < 2*n*mu+n*mu/2; x++ {
+		m.Poke(x, alignSentinel)
+	}
+	off := int64(0)
+	for j, l := range lens {
+		for k := 0; k < l; k++ {
+			m.Poke(off, int64(j))
+			m.Poke(off+1, int64(1000*j+k))
+			off += 2
+		}
+	}
+	return m
+}
+
+func checkAligned(t *testing.T, m *bt.Machine, mu int64, lens []int) {
+	t.Helper()
+	for j, l := range lens {
+		base := int64(j) * mu
+		for k := 0; k < l; k++ {
+			if id := m.Peek(base + int64(2*k)); id != int64(j) {
+				t.Fatalf("run %d element %d: id=%d", j, k, id)
+			}
+			if v := m.Peek(base + int64(2*k) + 1); v != int64(1000*j+k) {
+				t.Fatalf("run %d element %d: value=%d, want %d", j, k, v, 1000*j+k)
+			}
+		}
+	}
+}
+
+func TestAlignUniformRuns(t *testing.T) {
+	mu := int64(8)
+	lens := []int{2, 2, 2, 2}
+	m := buildAlignFixture(cost.Poly{Alpha: 0.5}, mu, lens)
+	Align(m, mu, int64(len(lens)))
+	checkAligned(t, m, mu, lens)
+}
+
+func TestAlignRaggedRuns(t *testing.T) {
+	mu := int64(8)
+	for _, lens := range [][]int{
+		{4, 0, 1, 3},
+		{0, 0, 0, 4},
+		{4, 4, 4, 4},
+		{1, 0, 0, 0, 0, 0, 0, 4},
+		{0, 1, 2, 3, 4, 3, 2, 1},
+	} {
+		m := buildAlignFixture(cost.Log{}, mu, lens)
+		Align(m, mu, int64(len(lens)))
+		checkAligned(t, m, mu, lens)
+	}
+}
+
+func TestAlignSingleRun(t *testing.T) {
+	mu := int64(6)
+	lens := []int{3}
+	m := buildAlignFixture(cost.Log{}, mu, lens)
+	Align(m, mu, 1)
+	checkAligned(t, m, mu, lens)
+}
+
+func TestAlignRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mu := int64(10)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 << (1 + rng.Intn(5)) // 2..32 runs
+		lens := make([]int, n)
+		for j := range lens {
+			lens[j] = rng.Intn(int(mu)/2 + 1)
+		}
+		m := buildAlignFixture(cost.Poly{Alpha: 0.5}, mu, lens)
+		Align(m, mu, int64(n))
+		checkAligned(t, m, mu, lens)
+	}
+}
+
+func TestAlignRejectsBadArgs(t *testing.T) {
+	m := bt.New(cost.Log{}, 1024)
+	for _, fn := range []func(){
+		func() { Align(m, 8, 3) }, // not a power of two
+		func() { Align(m, 8, 0) },
+		func() { Align(m, 7, 4) }, // odd block size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on bad Align args")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// ALIGN cost shape: O(µ·n·log(µ·n)).
+func TestAlignCostShape(t *testing.T) {
+	mu := int64(8)
+	var prev float64
+	for _, n := range []int{16, 64, 256} {
+		lens := make([]int, n)
+		for j := range lens {
+			lens[j] = int(mu) / 2
+		}
+		m := buildAlignFixture(cost.Poly{Alpha: 0.5}, mu, lens)
+		m.ResetStats()
+		Align(m, mu, int64(n))
+		perWord := m.Cost() / float64(int64(n)*mu)
+		// Per-word cost grows like log(µn): at most ~2x per 4x n.
+		if prev > 0 && perWord > 2.5*prev {
+			t.Errorf("n=%d: per-word align cost %g grew too fast (prev %g)", n, perWord, prev)
+		}
+		prev = perWord
+	}
+}

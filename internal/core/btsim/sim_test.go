@@ -1,0 +1,272 @@
+package btsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/hmmsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/progtest"
+)
+
+func assertSameContexts(t *testing.T, prog *dbsp.Program, got [][]Word) {
+	t.Helper()
+	native, err := dbsp.Run(prog, cost.Const{C: 1})
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+	for p := range native.Contexts {
+		if !reflect.DeepEqual(native.Contexts[p], got[p]) {
+			t.Fatalf("proc %d diverged:\nnative %v\nsim    %v", p, native.Contexts[p], got[p])
+		}
+	}
+}
+
+func TestUnpackedBlock(t *testing.T) {
+	want := map[int]int64{0: 0, 1: 2, 2: 4, 3: 5, 4: 8, 5: 9, 6: 10, 7: 11}
+	for j, pos := range want {
+		if got := unpackedBlock(j); got != pos {
+			t.Errorf("unpackedBlock(%d) = %d, want %d", j, got, pos)
+		}
+	}
+	// Positions at most double (Section 5.1).
+	for j := 1; j < 1<<12; j++ {
+		if got := unpackedBlock(j); got > int64(2*j) {
+			t.Errorf("unpackedBlock(%d) = %d > 2j", j, got)
+		}
+	}
+}
+
+func TestSimulateMatchesNativeDescending(t *testing.T) {
+	prog := progtest.Rotate(16, progtest.Descending(16)...)
+	res, err := Simulate(prog, cost.Poly{Alpha: 0.5}, &Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+}
+
+func TestSimulateMatchesNativeMixedLabels(t *testing.T) {
+	for _, labels := range [][]int{
+		{0, 2, 1, 0, 3, 0},
+		{4, 4, 4, 0},
+		{2, 3, 3, 1, 2, 0},
+		{0, 0, 0},
+		{4, 0, 4, 0},
+	} {
+		prog := progtest.Rotate(16, labels...)
+		for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}, cost.Poly{Alpha: 0.3}} {
+			res, err := Simulate(prog, f, &Options{CheckInvariants: true})
+			if err != nil {
+				t.Fatalf("labels %v f=%s: %v", labels, f.Name(), err)
+			}
+			assertSameContexts(t, prog, res.Contexts)
+		}
+	}
+}
+
+func TestSimulateLargerMachine(t *testing.T) {
+	prog := progtest.Rotate(128, progtest.Descending(128)...)
+	res, err := Simulate(prog, cost.Poly{Alpha: 0.5}, &Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+	if res.Blocks.Copies == 0 {
+		t.Error("expected block transfers")
+	}
+}
+
+func TestSimulateSingleProcessor(t *testing.T) {
+	prog := progtest.Rotate(1)
+	res, err := Simulate(prog, cost.Log{}, &Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+}
+
+func TestSimulateComputeOnly(t *testing.T) {
+	prog := progtest.ComputeOnly(64, 3, 5, 3, 1, 0)
+	res, err := Simulate(prog, cost.Poly{Alpha: 0.5}, &Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	good := progtest.Rotate(8, 1, 0)
+	if _, err := Simulate(good, nil, nil); err == nil {
+		t.Error("nil access function accepted")
+	}
+	empty := &dbsp.Program{Name: "empty", V: 8, Layout: dbsp.Layout{Data: 1}}
+	if _, err := Simulate(empty, cost.Log{}, nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	nonGlobal := progtest.Rotate(8, 1, 0)
+	nonGlobal.Steps = nonGlobal.Steps[:1]
+	if _, err := Simulate(nonGlobal, cost.Log{}, nil); err == nil {
+		t.Error("program without global end accepted")
+	}
+}
+
+// Theorem 12: simulated cost is O(v·(τ + µ·Σ λ_i·log(µ·v/2^i))), and —
+// the headline — nearly independent of the access function f.
+func TestTheorem12Shape(t *testing.T) {
+	var lo, hi = math.Inf(1), 0.0
+	f := cost.Poly{Alpha: 0.5}
+	for _, v := range []int{16, 64, 256} {
+		prog := progtest.Rotate(v, progtest.Descending(v)...)
+		res, err := Simulate(prog, f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		native, err := dbsp.Run(prog, cost.Const{C: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := int64(prog.Mu())
+		lam := prog.Lambda(true)
+		pred := float64(native.TotalTau())
+		for i, li := range lam {
+			pred += float64(mu) * float64(li) * math.Log2(float64(mu*int64(v>>uint(i)))+2)
+		}
+		pred *= float64(v)
+		ratio := res.HostCost / pred
+		if ratio < lo {
+			lo = ratio
+		}
+		if ratio > hi {
+			hi = ratio
+		}
+	}
+	if lo <= 0 || hi/lo > 10 {
+		t.Errorf("Theorem 12 ratio drifts across v: lo=%g hi=%g", lo, hi)
+	}
+}
+
+// The f-independence claim: the same program simulated under x^0.3,
+// x^0.5 and log x must cost within a small constant factor.
+func TestTheorem12FIndependence(t *testing.T) {
+	v := 128
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	var costs []float64
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.3}, cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		res, err := Simulate(prog, f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, res.HostCost)
+	}
+	lo, hi := costs[0], costs[0]
+	for _, c := range costs {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	if hi/lo > 3 {
+		t.Errorf("BT simulation cost varies %gx across access functions: %v", hi/lo, costs)
+	}
+}
+
+// The BT simulation must overtake the HMM simulation as v grows for
+// steep f: block transfer hides the access costs (Section 5 vs
+// Section 3). The mechanical crossover for f = x^0.7 falls between
+// v = 256 and v = 1024; the HMM/BT cost ratio must increase with v and
+// exceed 1 at v = 1024.
+func TestBTBeatsHMMForSteepF(t *testing.T) {
+	f := cost.Poly{Alpha: 0.7}
+	prev := 0.0
+	for _, v := range []int{64, 256, 1024} {
+		prog := progtest.Rotate(v, progtest.Descending(v)...)
+		b, err := Simulate(prog, f, &Options{Alpha: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := hmmsim.Simulate(prog, f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := h.HostCost / b.HostCost
+		if ratio <= prev {
+			t.Errorf("v=%d: HMM/BT ratio %.2f did not grow (prev %.2f)", v, ratio, prev)
+		}
+		if v == 1024 && ratio <= 1 {
+			t.Errorf("v=1024: BT (%.3g) has not overtaken HMM (%.3g)", b.HostCost, h.HostCost)
+		}
+		prev = ratio
+	}
+}
+
+func TestResultFields(t *testing.T) {
+	prog := progtest.Rotate(8, 2, 0)
+	res, err := Simulate(prog, cost.Log{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine == nil || res.HostCost <= 0 {
+		t.Error("incomplete result")
+	}
+	if res.SmoothedSteps < len(prog.Steps) {
+		t.Error("smoothing shrank the program")
+	}
+	if res.Rounds == 0 {
+		t.Error("no rounds counted")
+	}
+}
+
+func TestNaiveMatchesNative(t *testing.T) {
+	prog := progtest.Rotate(16, 2, 3, 1, 0, 4, 0)
+	res, err := SimulateNaive(prog, cost.Poly{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+}
+
+// E10-style: the Figure 5 scheduler must beat the step-by-step baseline
+// by a growing factor on fine-superstep-heavy programs.
+func TestScheduledBeatsNaive(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	prevGain := 0.0
+	for _, v := range []int{64, 256, 1024} {
+		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
+		sched, err := Simulate(prog, f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := SimulateNaive(prog, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sched.Contexts, naive.Contexts) {
+			t.Fatal("scheduled and naive BT simulations disagree")
+		}
+		gain := naive.HostCost / sched.HostCost
+		if gain <= 1 {
+			t.Errorf("v=%d: naive (%g) not worse than scheduled (%g)", v, naive.HostCost, sched.HostCost)
+		}
+		if gain < prevGain {
+			t.Errorf("v=%d: gain %.2f decreased from %.2f; want growing", v, gain, prevGain)
+		}
+		prevGain = gain
+	}
+}
+
+// Random-program sweep with invariant checking: arbitrary label
+// structures and random bounded-fan-in communication through the full
+// BT machinery.
+func TestRandomProgramsBT(t *testing.T) {
+	for _, v := range []int{16, 64} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			prog := progtest.RandomProgram(progtest.RandomSpec{V: v, Steps: 6, MaxMsgs: 1, Seed: seed})
+			res, err := Simulate(prog, cost.Poly{Alpha: 0.5}, &Options{CheckInvariants: true})
+			if err != nil {
+				t.Fatalf("%s: %v", prog.Name, err)
+			}
+			assertSameContexts(t, prog, res.Contexts)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+)
+
+// ExampleOnHMM simulates a parallel prefix-sum on a hierarchical-memory
+// host and confirms the result matches the native run — the paper's
+// Section 3 pipeline in four lines.
+func ExampleOnHMM() {
+	prog := algos.PrefixSums(8, func(p int) int64 { return int64(p + 1) })
+	native, _ := dbsp.Run(prog, cost.Poly{Alpha: 0.5})
+	sim, err := core.OnHMM(prog, cost.Poly{Alpha: 0.5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("native:", native.Contexts[7][0], "simulated:", sim.Contexts[7][0])
+	// Output:
+	// native: 36 simulated: 36
+}
+
+// ExampleOnDBSP scales a program from 8 processors down to 2, each host
+// processor an HMM holding four guest contexts (Theorem 10).
+func ExampleOnDBSP() {
+	prog := algos.Broadcast(8, 42)
+	res, err := core.OnDBSP(prog, cost.Log{}, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("P7 received", res.Contexts[7][0])
+	// Output:
+	// P7 received 42
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/progtest"
+)
+
+// The randomized four-path equivalence sweep: pseudo-random programs
+// with arbitrary label structures and bounded-fan-in random
+// communication must produce bit-identical final contexts on the native
+// engine and on all three simulators, across machine sizes, step counts
+// and access functions.
+func TestRandomProgramEquivalence(t *testing.T) {
+	funcs := []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}}
+	var cases int
+	for _, v := range []int{4, 16, 32} {
+		for _, steps := range []int{1, 4, 9} {
+			for seed := uint64(1); seed <= 4; seed++ {
+				prog := progtest.RandomProgram(progtest.RandomSpec{
+					V: v, Steps: steps, MaxMsgs: 1, Seed: seed,
+				})
+				native, err := dbsp.Run(prog, cost.Const{C: 1})
+				if err != nil {
+					t.Fatalf("%s native: %v", prog.Name, err)
+				}
+				f := funcs[cases%len(funcs)]
+				cases++
+
+				h, err := OnHMM(prog, f)
+				if err != nil {
+					t.Fatalf("%s hmm(%s): %v", prog.Name, f.Name(), err)
+				}
+				b, err := OnBT(prog, f)
+				if err != nil {
+					t.Fatalf("%s bt(%s): %v", prog.Name, f.Name(), err)
+				}
+				vp := 1 << uint(cases%(dbsp.Log2(v)+1))
+				s, err := OnDBSP(prog, f, vp)
+				if err != nil {
+					t.Fatalf("%s selfsim(v'=%d): %v", prog.Name, vp, err)
+				}
+				for p := range native.Contexts {
+					if !reflect.DeepEqual(native.Contexts[p], h.Contexts[p]) {
+						t.Fatalf("%s f=%s: HMM diverged at proc %d", prog.Name, f.Name(), p)
+					}
+					if !reflect.DeepEqual(native.Contexts[p], b.Contexts[p]) {
+						t.Fatalf("%s f=%s: BT diverged at proc %d", prog.Name, f.Name(), p)
+					}
+					if !reflect.DeepEqual(native.Contexts[p], s.Contexts[p]) {
+						t.Fatalf("%s f=%s v'=%d: selfsim diverged at proc %d", prog.Name, f.Name(), vp, p)
+					}
+				}
+			}
+		}
+	}
+	if cases < 30 {
+		t.Fatalf("only %d fuzz cases ran", cases)
+	}
+}
+
+// Determinism of the generator itself: same spec, same program
+// behaviour.
+func TestRandomProgramDeterministic(t *testing.T) {
+	spec := progtest.RandomSpec{V: 16, Steps: 5, MaxMsgs: 1, Seed: 9}
+	a, err := dbsp.Run(progtest.RandomProgram(spec), cost.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dbsp.Run(progtest.RandomProgram(spec), cost.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Contexts, b.Contexts) {
+		t.Fatal("RandomProgram not deterministic")
+	}
+}

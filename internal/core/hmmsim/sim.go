@@ -1,0 +1,398 @@
+// Package hmmsim implements the paper's core contribution (Section 3,
+// Figure 1): simulating an arbitrary fine-grained D-BSP(v, µ, g(x))
+// program on a sequential f(x)-HMM with the same aggregate memory, by
+// turning submachine locality into temporal locality of reference.
+//
+// The host memory is divided into v blocks of µ cells; block j initially
+// holds the context of processor P_j. The simulation proceeds in rounds,
+// each simulating one superstep for one s-ready cluster whose contexts
+// occupy the topmost blocks (Invariant 2), choosing the next cluster so
+// that the same cluster is simulated for as many consecutive supersteps
+// as possible, and cycling sibling clusters through the top of memory
+// when a coarser superstep requires them all (the Figure 2 cycle).
+//
+// Theorem 5: the simulation runs in O(v·(τ + µ·Σ_i λ_i·f(µ·v/2^i)))
+// time; with g = f the slowdown is Θ(v) (Corollary 6) — linear in the
+// loss of parallelism, with no extra hierarchy-induced cost.
+package hmmsim
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/hmm"
+	"repro/internal/smooth"
+)
+
+// Word is the storage unit shared with the machines.
+type Word = hmm.Word
+
+// Options tunes the simulation.
+type Options struct {
+	// Labels is the smoothing label set L. When nil, the Theorem 5 set
+	// smooth.LabelsHMM(f, µ, v, C2) is used.
+	Labels []int
+	// C2 is the geometric decay constant of the default label-set
+	// construction; 0 means 0.5.
+	C2 float64
+	// DisableSmoothing simulates the raw program (experiment E14's
+	// ablation). The program must already be smooth over its own label
+	// set, or Simulate returns an error.
+	DisableSmoothing bool
+	// CheckInvariants verifies Invariants 1 and 2 at the start of every
+	// round (O(v) host-side work per round; for tests).
+	CheckInvariants bool
+	// ProcOffset and GlobalV present handlers with a global identity:
+	// processor q of this (sub-)program appears as ProcOffset+q on a
+	// GlobalV-processor machine, and message addressing is translated
+	// accordingly. LabelOffset shifts superstep labels for the cluster
+	// legality check. Zero values mean the program is self-contained.
+	// These hooks exist for the Theorem 10 self-simulation, which runs
+	// label-shifted sub-programs inside host memory modules.
+	ProcOffset  int
+	GlobalV     int
+	LabelOffset int
+	// Observer, when non-nil, is invoked at the start of every round
+	// with the round number, the next superstep index and label, and the
+	// current block-to-processor assignment (do not retain the slice).
+	// cmd/memtrace uses it to render the Figure 2 cluster movements.
+	Observer func(round int64, step, label int, procOfBlock []int)
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	// Machine is the host HMM in its final state.
+	Machine *hmm.Machine
+	// Contexts holds the final µ-word context of every guest processor,
+	// in processor order — bit-identical to a native dbsp.Run.
+	Contexts [][]Word
+	// HostCost is the charged f(x)-HMM time.
+	HostCost float64
+	// Stats is the host machine's operation accounting.
+	Stats hmm.Stats
+	// Rounds counts simulation rounds (while-loop iterations).
+	Rounds int64
+	// Swaps counts cluster-region swaps performed by the scheduler.
+	Swaps int64
+	// SmoothedSteps is the superstep count after smoothing (>= the
+	// input program's).
+	SmoothedSteps int
+	// Labels is the label set actually used.
+	Labels []int
+}
+
+// state is the simulator's control state. The paper's algorithm derives
+// cluster positions from its invariants; we mirror them in host-side
+// tables (posOfProc/procOfBlock), which is bookkeeping of the
+// simulating program, not charged guest memory traffic.
+type state struct {
+	prog    *dbsp.Program // smoothed program
+	m       *hmm.Machine
+	mu      int64
+	v       int
+	sNext   []int // next superstep to simulate, per processor
+	posOf   []int // block index currently holding processor p's context
+	procOf  []int // processor whose context block b currently holds
+	rounds  int64
+	swaps   int64
+	check   bool
+	layout  dbsp.Layout
+	procOff int // global id of local processor 0
+	globalV int // machine size presented to handlers
+	labelOff int
+	observer func(round int64, step, label int, procOfBlock []int)
+}
+
+// Simulate runs prog on an f(x)-HMM host, returning the final guest
+// contexts and the exact charged host cost. The program must end with a
+// 0-superstep (the standard global-synchronization assumption) so that
+// every cluster's work is driven to completion.
+func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("hmmsim: nil access function")
+	}
+	if len(prog.Steps) == 0 {
+		return nil, fmt.Errorf("hmmsim: program %q has no supersteps", prog.Name)
+	}
+	if !prog.EndsGlobal() {
+		return nil, fmt.Errorf("hmmsim: program %q does not end with a 0-superstep", prog.Name)
+	}
+
+	// Smooth the program over the Theorem 5 label set (or the caller's).
+	run := prog
+	labels := opts.Labels
+	if opts.DisableSmoothing {
+		labels = smooth.FromProgram(prog)
+		if !prog.IsSmooth(labels) {
+			return nil, fmt.Errorf("hmmsim: smoothing disabled but program %q is not smooth over its own labels", prog.Name)
+		}
+	} else {
+		if labels == nil {
+			c2 := opts.C2
+			if c2 == 0 {
+				c2 = 0.5
+			}
+			labels = smooth.LabelsHMM(f, prog.Mu(), prog.V, c2)
+		}
+		var err error
+		run, err = smooth.Smooth(prog, labels)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mu := int64(prog.Mu())
+	m := hmm.New(f, int64(prog.V)*mu)
+	// Load the initial contexts: block j = context of P_j. The input
+	// distribution is given, not charged.
+	init := dbsp.NewContexts(prog)
+	for p, ctx := range init {
+		for i, w := range ctx {
+			m.Poke(int64(p)*mu+int64(i), w)
+		}
+	}
+
+	st := newState(m, run, prog.Layout, opts)
+	if err := st.loop(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Machine:       m,
+		HostCost:      m.Cost(),
+		Stats:         m.Stats(),
+		Rounds:        st.rounds,
+		Swaps:         st.swaps,
+		SmoothedSteps: len(run.Steps),
+		Labels:        labels,
+	}
+	res.Contexts = make([][]Word, prog.V)
+	for p := 0; p < prog.V; p++ {
+		res.Contexts[p] = m.Snapshot(int64(st.posOf[p])*mu, mu)
+	}
+	return res, nil
+}
+
+// newState builds the scheduler state over an existing machine.
+func newState(m *hmm.Machine, run *dbsp.Program, layout dbsp.Layout, opts *Options) *state {
+	globalV := opts.GlobalV
+	if globalV == 0 {
+		globalV = run.V
+	}
+	st := &state{
+		prog: run, m: m, mu: int64(layout.Mu()), v: run.V,
+		sNext:   make([]int, run.V),
+		posOf:   make([]int, run.V),
+		procOf:  make([]int, run.V),
+		check:   opts.CheckInvariants,
+		layout:  layout,
+		procOff: opts.ProcOffset,
+		globalV: globalV,
+		labelOff: opts.LabelOffset,
+		observer: opts.Observer,
+	}
+	for p := 0; p < run.V; p++ {
+		st.posOf[p] = p
+		st.procOf[p] = p
+	}
+	return st
+}
+
+// SimulateOn runs prog's supersteps against contexts ALREADY RESIDENT
+// in m (block j of the first v·µ words holds processor j's context;
+// prog.Init is ignored). It is the entry point the Theorem 10
+// self-simulation uses to run a label-shifted sub-program inside one
+// host processor's memory module. The program must be smooth over the
+// given label set (callers smooth beforehand) and end with a label-0
+// superstep; on return, block j again holds processor j's context.
+func SimulateOn(m *hmm.Machine, prog *dbsp.Program, labels []int, opts *Options) error {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if !prog.EndsGlobal() {
+		return fmt.Errorf("hmmsim: program %q does not end with a 0-superstep", prog.Name)
+	}
+	run, err := smooth.Smooth(prog, labels)
+	if err != nil {
+		return err
+	}
+	st := newState(m, run, prog.Layout, opts)
+	return st.loop()
+}
+
+// loop is the while-loop of Figure 1.
+func (st *state) loop() error {
+	steps := st.prog.Steps
+	logv := st.prog.LogV()
+	// Safety bound: every round either simulates a superstep for a
+	// cluster or is impossible; total cluster-steps <= Σ_s 2^{label_s}.
+	var maxRounds int64
+	for _, s := range steps {
+		maxRounds += int64(1) << uint(s.Label)
+	}
+	maxRounds++
+
+	for {
+		st.rounds++
+		if st.rounds > maxRounds {
+			return fmt.Errorf("hmmsim: scheduler did not terminate after %d rounds (program not smooth or missing global end?)", st.rounds)
+		}
+		// Step 1: P = processor whose context is on top of memory.
+		p := st.procOf[0]
+		s := st.sNext[p]
+		if s == len(steps) {
+			return nil // P finished; by the global final superstep, all have.
+		}
+		label := steps[s].Label
+		csize := st.v >> uint(label)
+		cIdx := p / csize
+		lo := cIdx * csize
+
+		if st.observer != nil {
+			st.observer(st.rounds, s, label, st.procOf)
+		}
+		if st.check {
+			if err := st.verifyInvariants(s, lo, csize); err != nil {
+				return err
+			}
+		}
+
+		// Step 2: simulate superstep s for cluster C.
+		if steps[s].Run != nil {
+			st.simulateStep(s, lo, csize)
+		}
+		for q := lo; q < lo+csize; q++ {
+			st.sNext[q] = s + 1
+		}
+
+		// Step 3: exit is handled at the top of the next round.
+		if s+1 >= len(steps) {
+			continue
+		}
+		// Step 4: when the next superstep is coarser, cycle sibling
+		// clusters through the top of memory.
+		nextLabel := steps[s+1].Label
+		if nextLabel < label {
+			if nextLabel < 0 || label > logv {
+				return fmt.Errorf("hmmsim: corrupt labels %d -> %d", label, nextLabel)
+			}
+			b := 1 << uint(label-nextLabel)
+			j := cIdx % b
+			if j > 0 {
+				st.swapRegions(0, j, csize)
+			}
+			if j < b-1 {
+				st.swapRegions(0, j+1, csize)
+			}
+		}
+	}
+}
+
+// simulateStep performs Step 2: local computation for each processor of
+// the cluster with its context brought to the top of memory, then the
+// message exchange by a sequential scan of the outboxes.
+func (st *state) simulateStep(s, lo, csize int) {
+	mu := st.mu
+	l := st.layout
+	// Local computation. The paper brings each context in turn to the
+	// top of memory; running the handler in place at block k is
+	// equivalent for the Theorem 5 analysis — every access stays within
+	// the first µ·|C| cells, so each of the O(µ) handler operations
+	// costs at most f(µ·|C|) — and saves the 8µ swap accesses per
+	// processor per superstep that a literal bring-to-top would charge.
+	for k := 0; k < csize; k++ {
+		q := st.procOff + lo + k
+		store := &hmmStore{m: st.m, base: int64(k) * mu}
+		c := dbsp.NewCtx(store, l, q, st.globalV, st.labelOff+st.prog.Steps[s].Label)
+		st.prog.Steps[s].Run(c)
+	}
+	// Message exchange. First clear the inbox counts (native Deliver
+	// semantics), then scan outboxes in ascending processor order and
+	// deliver each message by direct addressing — by Invariant 2 the
+	// context of processor q sits in block q-lo.
+	for k := 0; k < csize; k++ {
+		st.m.Write(int64(k)*mu+int64(l.InCountOff()), 0)
+	}
+	for k := 0; k < csize; k++ {
+		base := int64(k) * mu
+		sent := st.m.Read(base + int64(l.OutCountOff()))
+		for e := int64(0); e < sent; e++ {
+			dest := st.m.Read(base + int64(l.OutboxOff(int(e))))
+			payload := st.m.Read(base + int64(l.OutboxOff(int(e))) + 1)
+			dblock := dest - int64(st.procOff) - int64(lo)
+			dbase := dblock * mu
+			n := st.m.Read(dbase + int64(l.InCountOff()))
+			st.m.Write(dbase+int64(l.InboxOff(int(n))), int64(st.procOff+lo+k))
+			st.m.Write(dbase+int64(l.InboxOff(int(n)))+1, payload)
+			st.m.Write(dbase+int64(l.InCountOff()), n+1)
+		}
+		if sent > 0 {
+			st.m.Write(base+int64(l.OutCountOff()), 0)
+		}
+	}
+}
+
+// swapRegions exchanges the csize-block region at the top of memory
+// with region r (blocks [r·csize, (r+1)·csize)), updating the
+// processor-position tables.
+func (st *state) swapRegions(_ int, r, csize int) {
+	mu := st.mu
+	st.m.SwapRange(0, int64(r)*int64(csize)*mu, int64(csize)*mu)
+	for k := 0; k < csize; k++ {
+		a, b := k, r*csize+k
+		pa, pb := st.procOf[a], st.procOf[b]
+		st.procOf[a], st.procOf[b] = pb, pa
+		st.posOf[pa], st.posOf[pb] = b, a
+	}
+	st.swaps++
+}
+
+// verifyInvariants checks Invariants 1 and 2 for the round about to
+// simulate superstep s for the cluster of processors [lo, lo+csize).
+func (st *state) verifyInvariants(s, lo, csize int) error {
+	// Invariant 1: the cluster is s-ready.
+	for q := lo; q < lo+csize; q++ {
+		if st.sNext[q] != s {
+			return fmt.Errorf("hmmsim: invariant 1 violated: proc %d at step %d, cluster simulating %d", q, st.sNext[q], s)
+		}
+	}
+	// Invariant 2: contexts in the topmost csize blocks, sorted.
+	for k := 0; k < csize; k++ {
+		if st.procOf[k] != lo+k {
+			return fmt.Errorf("hmmsim: invariant 2 violated: block %d holds proc %d, want %d", k, st.procOf[k], lo+k)
+		}
+	}
+	// Every other cluster's contexts must be in consecutive blocks. At
+	// this granularity that means every sibling csize-group of blocks
+	// holds a csize-aligned set of processors.
+	for g := csize; g < st.v; g += csize {
+		base := st.procOf[g]
+		if base%csize != 0 {
+			continue // a coarser cluster mid-cycle; covered by its own rounds
+		}
+		for k := 1; k < csize; k++ {
+			if st.procOf[g+k] != base+k {
+				return fmt.Errorf("hmmsim: invariant 2 violated: block group at %d not consecutive", g)
+			}
+		}
+	}
+	return nil
+}
+
+// hmmStore adapts the host HMM to the dbsp.Store interface for a
+// context at the top of memory.
+type hmmStore struct {
+	m    *hmm.Machine
+	base int64
+}
+
+func (s *hmmStore) Load(off int) Word   { return s.m.Read(s.base + int64(off)) }
+func (s *hmmStore) Put(off int, v Word) { s.m.Write(s.base+int64(off), v) }
+func (s *hmmStore) Work(n int64)        { s.m.ChargeOps(n) }

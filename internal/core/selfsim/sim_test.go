@@ -1,0 +1,169 @@
+package selfsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/progtest"
+)
+
+func assertSameContexts(t *testing.T, prog *dbsp.Program, got [][]Word) {
+	t.Helper()
+	native, err := dbsp.Run(prog, cost.Const{C: 1})
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+	for p := range native.Contexts {
+		if !reflect.DeepEqual(native.Contexts[p], got[p]) {
+			t.Fatalf("proc %d diverged:\nnative %v\nsim    %v", p, native.Contexts[p], got[p])
+		}
+	}
+}
+
+func TestSelfSimMatchesNativeAllVPrime(t *testing.T) {
+	v := 16
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	for vp := 1; vp <= v; vp *= 2 {
+		res, err := Simulate(prog, cost.Poly{Alpha: 0.5}, vp, &Options{CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("v'=%d: %v", vp, err)
+		}
+		assertSameContexts(t, prog, res.Contexts)
+	}
+}
+
+func TestSelfSimMixedLabels(t *testing.T) {
+	for _, labels := range [][]int{
+		{0, 2, 1, 0, 3, 0},
+		{4, 4, 4, 0},
+		{2, 3, 3, 1, 2, 0},
+		{4, 0, 4, 0},
+	} {
+		prog := progtest.Rotate(16, labels...)
+		for _, vp := range []int{1, 2, 4, 16} {
+			res, err := Simulate(prog, cost.Log{}, vp, &Options{CheckInvariants: true})
+			if err != nil {
+				t.Fatalf("labels %v v'=%d: %v", labels, vp, err)
+			}
+			assertSameContexts(t, prog, res.Contexts)
+		}
+	}
+}
+
+func TestSelfSimRunPartitioning(t *testing.T) {
+	v := 16
+	// Labels 3,3 (local for v'=4), 1 (global), 2 (local), 0 (global).
+	prog := progtest.Rotate(v, 3, 3, 1, 2, 0)
+	res, err := Simulate(prog, cost.Log{}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// logvp = 2: labels >= 2 are local: [3,3] and [2]; global: 1, 0 and
+	// the final consume step (label 0) = 3 global steps.
+	if res.LocalRuns != 2 {
+		t.Errorf("LocalRuns = %d, want 2", res.LocalRuns)
+	}
+	if res.GlobalSteps != 3 {
+		t.Errorf("GlobalSteps = %d, want 3", res.GlobalSteps)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+}
+
+func TestSelfSimRejectsBadInput(t *testing.T) {
+	prog := progtest.Rotate(8, 1, 0)
+	if _, err := Simulate(prog, nil, 2, nil); err == nil {
+		t.Error("nil g accepted")
+	}
+	for _, vp := range []int{0, 3, 16, -2} {
+		if _, err := Simulate(prog, cost.Log{}, vp, nil); err == nil {
+			t.Errorf("v'=%d accepted", vp)
+		}
+	}
+	nonGlobal := progtest.Rotate(8, 1, 0)
+	nonGlobal.Steps = nonGlobal.Steps[:1]
+	if _, err := Simulate(nonGlobal, cost.Log{}, 2, nil); err == nil {
+		t.Error("program without global end accepted")
+	}
+}
+
+// Theorem 10 / Corollary 11 (Brent analogue): halving the processors
+// roughly doubles the time. Mechanically, each halving costs between
+// ~1.7x and ~3.2x (the overhead factor shrinks toward the ideal 2x as
+// v′ decreases, because the constant-factor gap between router-charged
+// global steps and mechanically-charged local scheduling amortises),
+// and the overall normalised cost HostCost·v′/v stays within a modest
+// constant band.
+func TestBrentAnalogue(t *testing.T) {
+	v := 64
+	g := cost.Poly{Alpha: 0.5}
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	var costs []float64
+	for vp := v; vp >= 1; vp /= 2 {
+		res, err := Simulate(prog, g, vp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, res.HostCost)
+	}
+	prevRatio := math.Inf(1)
+	for i := 1; i < len(costs); i++ {
+		ratio := costs[i] / costs[i-1]
+		if ratio < 1.6 || ratio > 3.6 {
+			t.Errorf("halving %d: cost grew %.2fx, want ~2x (1.6..3.6)", i, ratio)
+		}
+		if ratio > prevRatio+0.05 {
+			t.Errorf("halving %d: overhead factor %.2f not shrinking (prev %.2f)", i, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	norm0 := costs[0]                                      // v′ = v
+	normV := costs[len(costs)-1] / float64(v)              // v′ = 1
+	if normV/norm0 > 12 || norm0/normV > 12 {
+		t.Errorf("Brent analogue: normalised endpoints differ too much: %g vs %g", norm0, normV)
+	}
+}
+
+// With v′ = v (no loss of parallelism) the simulation must cost within
+// a constant factor of the native D-BSP time with g-charged memory...
+// at minimum it must not be cheaper than the native communication cost.
+func TestSelfSimFullMachineSanity(t *testing.T) {
+	v := 32
+	g := cost.Poly{Alpha: 0.5}
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	res, err := Simulate(prog, g, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := dbsp.Run(prog, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommCost < native.CommCost()/2 {
+		t.Errorf("v'=v comm cost %g below native %g", res.CommCost, native.CommCost())
+	}
+	if res.HostCost < native.Cost/4 {
+		t.Errorf("v'=v host cost %g implausibly below native %g", res.HostCost, native.Cost)
+	}
+}
+
+// The v′=1 case degenerates to the Section 3 HMM simulation: final
+// contexts must match and the cost must be of the same order.
+func TestSelfSimSingleHostMatchesHMMSim(t *testing.T) {
+	v := 32
+	g := cost.Poly{Alpha: 0.5}
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	res, err := Simulate(prog, g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+	if res.CommCost != 0 {
+		t.Errorf("v'=1 has comm cost %g, want 0", res.CommCost)
+	}
+	if res.GlobalSteps != 0 || res.LocalRuns != 1 {
+		t.Errorf("v'=1 partition: %d global, %d local runs; want 0, 1", res.GlobalSteps, res.LocalRuns)
+	}
+}

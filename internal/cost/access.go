@@ -1,0 +1,145 @@
+// Package cost defines memory access cost functions for hierarchical
+// memory models and the analytical machinery the paper builds on them:
+// (2,c)-uniformity (Section 2), iterated functions f* (Fact 2), and the
+// chunk-size recursion c(n)/c*(n) used by the BT COMPUTE schedule
+// (Section 5.2.1).
+//
+// An access function f maps a 0-based memory address x to the time
+// charged for touching that cell. All functions in this package are
+// nondecreasing and satisfy f(x) >= 1 so that "flat" RAM cost is the
+// f = Const(1) special case and sums of access costs dominate operation
+// counts, matching the convention f(x+1) in the paper's HMM definition.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is a memory access cost function f(x): the time to access memory
+// address x on an f(x)-HMM or f(x)-BT machine. Implementations must be
+// nondecreasing in x and bounded below by 1.
+type Func interface {
+	// Cost returns f(x) for 0-based address x. Cost must be
+	// nondecreasing and >= 1 for all x >= 0.
+	Cost(x int64) float64
+	// Name returns a short human-readable identifier such as "x^0.50"
+	// or "log x", used in experiment tables.
+	Name() string
+}
+
+// Poly is the polynomial access function f(x) = max(1, x^Alpha), the
+// most widely studied HMM/BT access function (paper Section 2). For
+// 0 < Alpha < 1 it is (2, 2^Alpha)-uniform.
+type Poly struct {
+	Alpha float64
+}
+
+// Cost returns max(1, x^Alpha).
+func (p Poly) Cost(x int64) float64 {
+	if x <= 1 {
+		return 1
+	}
+	return math.Max(1, math.Pow(float64(x), p.Alpha))
+}
+
+// Name returns "x^<alpha>".
+func (p Poly) Name() string { return fmt.Sprintf("x^%.2f", p.Alpha) }
+
+// Log is the logarithmic access function f(x) = max(1, log2(x)). It is
+// (2, 2)-uniform (indeed f(2x) <= f(x) + 1 <= 2 f(x) for x >= 2).
+type Log struct{}
+
+// Cost returns max(1, log2(x)).
+func (Log) Cost(x int64) float64 {
+	if x <= 2 {
+		return 1
+	}
+	return math.Log2(float64(x))
+}
+
+// Name returns "log x".
+func (Log) Name() string { return "log x" }
+
+// Const is the flat access function f(x) = C (C >= 1), modelling an
+// ideal RAM when C = 1. It is (2, 1)-uniform.
+type Const struct {
+	C float64
+}
+
+// Cost returns the constant C (at least 1).
+func (c Const) Cost(int64) float64 { return math.Max(1, c.C) }
+
+// Name returns "const <C>".
+func (c Const) Name() string { return fmt.Sprintf("const %.0f", math.Max(1, c.C)) }
+
+// Linear is the access function f(x) = max(1, x/Scale). It is NOT
+// (2,c)-uniform-friendly in the useful range (it is (2,2)-uniform, the
+// extreme case) and serves as a stress test for the smoothing machinery.
+type Linear struct {
+	Scale float64
+}
+
+// Cost returns max(1, x/Scale).
+func (l Linear) Cost(x int64) float64 {
+	s := l.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return math.Max(1, float64(x)/s)
+}
+
+// Name returns "x/<scale>".
+func (l Linear) Name() string { return fmt.Sprintf("x/%.0f", math.Max(1, l.Scale)) }
+
+// Table is an access function defined by explicit level boundaries, the
+// natural encoding of a concrete machine hierarchy (L1/L2/L3/DRAM...).
+// Address x is charged Costs[i] for the smallest i with x < Bounds[i];
+// addresses beyond the last bound are charged the last cost. Costs must
+// be nondecreasing and >= 1 for the Func contract to hold.
+type Table struct {
+	Bounds []int64   // strictly increasing level capacities
+	Costs  []float64 // per-level access cost, len == len(Bounds)+1
+	Label  string
+}
+
+// Cost returns the cost of the level containing x.
+func (t Table) Cost(x int64) float64 {
+	for i, b := range t.Bounds {
+		if x < b {
+			return t.Costs[i]
+		}
+	}
+	return t.Costs[len(t.Costs)-1]
+}
+
+// Name returns the table's label.
+func (t Table) Name() string {
+	if t.Label == "" {
+		return "table"
+	}
+	return t.Label
+}
+
+// Validate checks the Table invariants: len(Costs) == len(Bounds)+1,
+// strictly increasing bounds, nondecreasing costs >= 1.
+func (t Table) Validate() error {
+	if len(t.Costs) != len(t.Bounds)+1 {
+		return fmt.Errorf("cost: table %q: len(Costs)=%d, want len(Bounds)+1=%d",
+			t.Name(), len(t.Costs), len(t.Bounds)+1)
+	}
+	for i := 1; i < len(t.Bounds); i++ {
+		if t.Bounds[i] <= t.Bounds[i-1] {
+			return fmt.Errorf("cost: table %q: bounds not strictly increasing at %d", t.Name(), i)
+		}
+	}
+	for i, c := range t.Costs {
+		if c < 1 {
+			return fmt.Errorf("cost: table %q: cost %g < 1 at level %d", t.Name(), c, i)
+		}
+		if i > 0 && c < t.Costs[i-1] {
+			return fmt.Errorf("cost: table %q: costs decrease at level %d", t.Name(), i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyCost(t *testing.T) {
+	p := Poly{Alpha: 0.5}
+	cases := []struct {
+		x    int64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {4, 2}, {16, 4}, {100, 10}, {10000, 100},
+	}
+	for _, c := range cases {
+		if got := p.Cost(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Poly{0.5}.Cost(%d) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPolyCostSmallAlpha(t *testing.T) {
+	p := Poly{Alpha: 0.25}
+	if got := p.Cost(1 << 20); math.Abs(got-32) > 1e-6 {
+		t.Errorf("Poly{0.25}.Cost(2^20) = %g, want 32", got)
+	}
+}
+
+func TestLogCost(t *testing.T) {
+	f := Log{}
+	cases := []struct {
+		x    int64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {2, 1}, {4, 2}, {8, 3}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := f.Cost(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Log.Cost(%d) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestConstCost(t *testing.T) {
+	if got := (Const{C: 5}).Cost(1 << 40); got != 5 {
+		t.Errorf("Const{5}.Cost = %g, want 5", got)
+	}
+	if got := (Const{C: 0}).Cost(7); got != 1 {
+		t.Errorf("Const{0}.Cost = %g, want clamped 1", got)
+	}
+}
+
+func TestLinearCost(t *testing.T) {
+	l := Linear{Scale: 4}
+	if got := l.Cost(100); got != 25 {
+		t.Errorf("Linear{4}.Cost(100) = %g, want 25", got)
+	}
+	if got := l.Cost(2); got != 1 {
+		t.Errorf("Linear{4}.Cost(2) = %g, want 1 (clamped)", got)
+	}
+	if got := (Linear{}).Cost(9); got != 9 {
+		t.Errorf("Linear{0}.Cost(9) = %g, want 9 (scale defaults to 1)", got)
+	}
+}
+
+func TestTableCost(t *testing.T) {
+	tab := Table{
+		Bounds: []int64{32, 1024, 1 << 20},
+		Costs:  []float64{1, 4, 30, 200},
+		Label:  "toy-hierarchy",
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := []struct {
+		x    int64
+		want float64
+	}{
+		{0, 1}, {31, 1}, {32, 4}, {1023, 4}, {1024, 30}, {1 << 20, 200}, {1 << 40, 200},
+	}
+	for _, c := range cases {
+		if got := tab.Cost(c.x); got != c.want {
+			t.Errorf("Table.Cost(%d) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	bad := []Table{
+		{Bounds: []int64{10}, Costs: []float64{1}},             // wrong len
+		{Bounds: []int64{10, 10}, Costs: []float64{1, 2, 3}},   // non-increasing bounds
+		{Bounds: []int64{10, 20}, Costs: []float64{1, 5, 2}},   // decreasing costs
+		{Bounds: []int64{10, 20}, Costs: []float64{0.5, 1, 2}}, // cost < 1
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid table", i)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		f    Func
+		want string
+	}{
+		{Poly{Alpha: 0.5}, "x^0.50"},
+		{Log{}, "log x"},
+		{Const{C: 1}, "const 1"},
+		{Linear{Scale: 8}, "x/8"},
+		{Table{Label: "l3"}, "l3"},
+		{Table{}, "table"},
+	}
+	for _, c := range cases {
+		if got := c.f.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: every shipped access function is nondecreasing and >= 1.
+func TestFuncContractProperty(t *testing.T) {
+	funcs := []Func{
+		Poly{Alpha: 0.25}, Poly{Alpha: 0.5}, Poly{Alpha: 0.75},
+		Log{}, Const{C: 3}, Linear{Scale: 16},
+	}
+	prop := func(raw int64) bool {
+		x := raw % (1 << 30)
+		if x < 0 {
+			x = -x
+		}
+		for _, f := range funcs {
+			if f.Cost(x) < 1 {
+				return false
+			}
+			if f.Cost(x+1) < f.Cost(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package cost
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse turns a command-line spec into an access function:
+//
+//	"log"        the logarithmic function log x
+//	"x^0.5"      the polynomial x^α (any 0 < α < 1)
+//	"const:3"    the flat function with value 3
+//	"linear:16"  x/16
+func Parse(spec string) (Func, error) {
+	switch {
+	case spec == "log":
+		return Log{}, nil
+	case strings.HasPrefix(spec, "x^"):
+		a, err := strconv.ParseFloat(spec[2:], 64)
+		if err != nil || a <= 0 || a >= 1 {
+			return nil, fmt.Errorf("cost: bad exponent in %q (want 0 < α < 1)", spec)
+		}
+		return Poly{Alpha: a}, nil
+	case strings.HasPrefix(spec, "const:"):
+		c, err := strconv.ParseFloat(spec[6:], 64)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("cost: bad constant in %q (want >= 1)", spec)
+		}
+		return Const{C: c}, nil
+	case strings.HasPrefix(spec, "linear:"):
+		s, err := strconv.ParseFloat(spec[7:], 64)
+		if err != nil || s <= 0 {
+			return nil, fmt.Errorf("cost: bad scale in %q", spec)
+		}
+		return Linear{Scale: s}, nil
+	default:
+		return nil, fmt.Errorf("cost: unknown access function %q (want log, x^A, const:C or linear:S)", spec)
+	}
+}

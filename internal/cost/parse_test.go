@@ -1,0 +1,28 @@
+package cost
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	good := map[string]string{
+		"log":      "log x",
+		"x^0.5":    "x^0.50",
+		"x^0.25":   "x^0.25",
+		"const:3":  "const 3",
+		"linear:8": "x/8",
+	}
+	for spec, name := range good {
+		f, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if f.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, f.Name(), name)
+		}
+	}
+	for _, spec := range []string{"", "x^1.5", "x^0", "x^abc", "const:0", "const:x", "linear:-1", "linear:z", "cubic"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}

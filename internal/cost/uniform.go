@@ -1,0 +1,150 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// UniformityReport summarises an empirical (2,c)-uniformity check of an
+// access function over a range of addresses (paper Section 2: f is
+// (2,c)-uniform when there exists c >= 1 with f(2x) <= c·f(x) for all x).
+type UniformityReport struct {
+	// C is the smallest constant c >= 1 such that f(2x) <= c f(x) held
+	// for every sampled x in [1, MaxX].
+	C float64
+	// MaxX is the largest doubling point that was checked.
+	MaxX int64
+	// Nondecreasing reports whether f was nondecreasing over all
+	// sampled points.
+	Nondecreasing bool
+	// AtLeastOne reports whether f(x) >= 1 held at all sampled points.
+	AtLeastOne bool
+}
+
+// Ok reports whether the sampled function satisfied the full Func
+// contract and was (2,c)-uniform for the given bound on c.
+func (r UniformityReport) Ok(cBound float64) bool {
+	return r.Nondecreasing && r.AtLeastOne && r.C <= cBound
+}
+
+// CheckUniform empirically verifies that f is (2,c)-uniform,
+// nondecreasing and >= 1 on [0, maxX]. It samples all doubling points
+// 1, 2, 4, ... and a dense set of intermediate points, returning the
+// tightest doubling constant observed. The paper restricts attention to
+// (2,c)-uniform functions; the simulators call this to reject invalid
+// user-provided access functions early.
+func CheckUniform(f Func, maxX int64) UniformityReport {
+	rep := UniformityReport{C: 1, MaxX: maxX, Nondecreasing: true, AtLeastOne: true}
+	if maxX < 1 {
+		return rep
+	}
+	// Doubling constant over all powers of two and a spread of odd points.
+	for x := int64(1); x <= maxX/2; x = growSample(x) {
+		fx := f.Cost(x)
+		f2x := f.Cost(2 * x)
+		if fx < 1 || f2x < 1 {
+			rep.AtLeastOne = false
+		}
+		if fx > 0 {
+			if r := f2x / fx; r > rep.C {
+				rep.C = r
+			}
+		}
+	}
+	// Monotonicity over a dense-ish sample.
+	prev := f.Cost(0)
+	if prev < 1 {
+		rep.AtLeastOne = false
+	}
+	for x := int64(1); x <= maxX; x = growSample(x) {
+		cur := f.Cost(x)
+		if cur+1e-12 < prev {
+			rep.Nondecreasing = false
+		}
+		if cur < 1 {
+			rep.AtLeastOne = false
+		}
+		prev = cur
+	}
+	return rep
+}
+
+// growSample advances a sample point: exhaustively for small x, then
+// multiplicatively with an odd offset so that non-power-of-two points
+// are also exercised.
+func growSample(x int64) int64 {
+	if x < 1024 {
+		return x + 1
+	}
+	next := x + x/7 + 3
+	if next <= x {
+		return x + 1
+	}
+	return next
+}
+
+// MustUniform panics if f is not (2,cBound)-uniform on [0, maxX]. It is
+// intended for package initialisation and test setup where a non-uniform
+// function is a programming error.
+func MustUniform(f Func, cBound float64, maxX int64) {
+	rep := CheckUniform(f, maxX)
+	if !rep.Ok(cBound) {
+		panic(fmt.Sprintf("cost: %s is not (2,%g)-uniform on [0,%d]: c=%.3f nondecr=%v >=1=%v",
+			f.Name(), cBound, maxX, rep.C, rep.Nondecreasing, rep.AtLeastOne))
+	}
+}
+
+// TouchHMM returns the Fact 1 quantity: the exact cost Σ_{x=0}^{n-1} f(x)
+// of touching the first n cells of an f(x)-HMM, which Fact 1 bounds as
+// Θ(n·f(n)) for (2,c)-uniform f.
+func TouchHMM(f Func, n int64) float64 {
+	var sum float64
+	for x := int64(0); x < n; x++ {
+		sum += f.Cost(x)
+	}
+	return sum
+}
+
+// TouchHMMApprox returns Σ f(x) over x < n evaluated by geometric
+// bucketing: exact for x < 4096 and approximated by midpoint sampling on
+// doubling intervals beyond. For (2,c)-uniform f the relative error is
+// bounded by the doubling constant; use it when n is too large for the
+// exact loop.
+func TouchHMMApprox(f Func, n int64) float64 {
+	const exactLimit = 4096
+	if n <= exactLimit {
+		return TouchHMM(f, n)
+	}
+	sum := TouchHMM(f, exactLimit)
+	lo := int64(exactLimit)
+	for lo < n {
+		hi := lo * 2
+		if hi > n {
+			hi = n
+		}
+		mid := lo + (hi-lo)/2
+		sum += float64(hi-lo) * f.Cost(mid)
+		lo = hi
+	}
+	return sum
+}
+
+// FStar returns f*(n) = min{k >= 1 : f^(k)(n) <= 1}, the iterated-
+// application depth of Fact 2: touching n cells on an f(x)-BT machine
+// costs Θ(n·f*(n)). For f = log x this is Θ(log* n); for f = x^α it is
+// Θ(log log n).
+func FStar(f Func, n int64) int {
+	if n <= 1 {
+		return 1
+	}
+	x := float64(n)
+	for k := 1; ; k++ {
+		x = f.Cost(int64(math.Ceil(x)))
+		// Our Func contract clamps costs at 1, so the iteration can
+		// stall just above 1 (e.g. f(2) = 2^α). Terminating at x <= 2
+		// changes f* by at most an additive constant.
+		if x <= 2 || k > 256 {
+			return k
+		}
+	}
+}

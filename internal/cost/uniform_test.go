@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckUniformPoly(t *testing.T) {
+	for _, alpha := range []float64{0.25, 0.5, 0.75} {
+		rep := CheckUniform(Poly{Alpha: alpha}, 1<<22)
+		want := math.Pow(2, alpha)
+		if !rep.Ok(want + 1e-9) {
+			t.Errorf("Poly{%g}: report %+v not (2,%g)-uniform", alpha, rep, want)
+		}
+		if rep.C < want-0.05 {
+			t.Errorf("Poly{%g}: observed c=%g suspiciously below 2^alpha=%g", alpha, rep.C, want)
+		}
+	}
+}
+
+func TestCheckUniformLog(t *testing.T) {
+	rep := CheckUniform(Log{}, 1<<22)
+	if !rep.Ok(2) {
+		t.Errorf("Log: report %+v not (2,2)-uniform", rep)
+	}
+}
+
+func TestCheckUniformConst(t *testing.T) {
+	rep := CheckUniform(Const{C: 7}, 1<<20)
+	if !rep.Ok(1.0000001) {
+		t.Errorf("Const: report %+v should be (2,1)-uniform", rep)
+	}
+}
+
+func TestCheckUniformLinearIsExtreme(t *testing.T) {
+	rep := CheckUniform(Linear{Scale: 1}, 1<<20)
+	if !rep.Ok(2) {
+		t.Errorf("Linear: report %+v should be (2,2)-uniform", rep)
+	}
+	if rep.C < 1.9 {
+		t.Errorf("Linear: doubling constant %g, want ~2 (the extreme case)", rep.C)
+	}
+}
+
+type decreasing struct{}
+
+func (decreasing) Cost(x int64) float64 { return math.Max(1, 100-float64(x)) }
+func (decreasing) Name() string         { return "decreasing" }
+
+func TestCheckUniformRejectsDecreasing(t *testing.T) {
+	rep := CheckUniform(decreasing{}, 1000)
+	if rep.Nondecreasing {
+		t.Error("CheckUniform failed to detect a decreasing function")
+	}
+}
+
+type belowOne struct{}
+
+func (belowOne) Cost(x int64) float64 { return 0.5 }
+func (belowOne) Name() string         { return "belowOne" }
+
+func TestCheckUniformRejectsBelowOne(t *testing.T) {
+	rep := CheckUniform(belowOne{}, 1000)
+	if rep.AtLeastOne {
+		t.Error("CheckUniform failed to detect f < 1")
+	}
+}
+
+func TestMustUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustUniform did not panic on a non-uniform function")
+		}
+	}()
+	MustUniform(decreasing{}, 2, 1000)
+}
+
+func TestMustUniformAccepts(t *testing.T) {
+	MustUniform(Poly{Alpha: 0.5}, 1.5, 1<<20) // 2^0.5 ~ 1.41 < 1.5
+}
+
+// Fact 1: TouchHMM(f, n) = Θ(n f(n)) for (2,c)-uniform f. Verify that the
+// ratio stays within constant factors across a sweep.
+func TestTouchHMMFact1Shape(t *testing.T) {
+	for _, f := range []Func{Poly{Alpha: 0.5}, Log{}} {
+		var lo, hi float64 = math.Inf(1), 0
+		for n := int64(64); n <= 1<<16; n *= 4 {
+			ratio := TouchHMM(f, n) / (float64(n) * f.Cost(n))
+			if ratio < lo {
+				lo = ratio
+			}
+			if ratio > hi {
+				hi = ratio
+			}
+		}
+		if lo <= 0 || hi/lo > 4 {
+			t.Errorf("%s: Fact 1 ratio drifts: lo=%g hi=%g", f.Name(), lo, hi)
+		}
+	}
+}
+
+func TestTouchHMMApproxMatchesExact(t *testing.T) {
+	for _, f := range []Func{Poly{Alpha: 0.5}, Poly{Alpha: 0.25}, Log{}} {
+		for _, n := range []int64{100, 4096, 10000, 1 << 18} {
+			exact := TouchHMM(f, n)
+			approx := TouchHMMApprox(f, n)
+			if rel := math.Abs(exact-approx) / exact; rel > 0.25 {
+				t.Errorf("%s n=%d: approx %g vs exact %g (rel err %g)", f.Name(), n, approx, exact, rel)
+			}
+		}
+	}
+}
+
+func TestFStarLog(t *testing.T) {
+	// log*: for n=2^16, log2 -> 16 -> 4 -> 2 -> 1: 3 iterations to <=1
+	// under our max(1, log2 x) with Cost(2)=1.
+	got := FStar(Log{}, 1<<16)
+	if got < 3 || got > 5 {
+		t.Errorf("FStar(log, 2^16) = %d, want small (3..5)", got)
+	}
+	if FStar(Log{}, 1) != 1 {
+		t.Errorf("FStar(log, 1) = %d, want 1", FStar(Log{}, 1))
+	}
+}
+
+func TestFStarPolyIsLogLog(t *testing.T) {
+	// For f=x^0.5, f^(k)(n) = n^(1/2^k), so f*(n) ~ log2 log2 n.
+	n := int64(1) << 32
+	got := FStar(Poly{Alpha: 0.5}, n)
+	want := int(math.Log2(32)) // log2 log2 2^32 = 5
+	if got < want-1 || got > want+2 {
+		t.Errorf("FStar(x^0.5, 2^32) = %d, want ~%d", got, want)
+	}
+}
+
+func TestFStarMonotoneProperty(t *testing.T) {
+	f := Poly{Alpha: 0.5}
+	prop := func(raw uint32) bool {
+		n := int64(raw%(1<<24)) + 2
+		return FStar(f, n) <= FStar(f, 2*n)+1 && FStar(f, n) >= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package dbsp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+)
+
+// StepCost records the native D-BSP cost of one executed superstep:
+// τ + h·g(µ·v/2^i) (paper Section 2).
+type StepCost struct {
+	// Label is the superstep's cluster label i.
+	Label int
+	// Tau is the maximum local computation time over processors.
+	Tau int64
+	// H is the degree of the communication h-relation: the maximum
+	// over processors of messages sent or received.
+	H int
+	// Cost is Tau + H·g(µ·v/2^Label).
+	Cost float64
+}
+
+// Result is the outcome of a native D-BSP run.
+type Result struct {
+	// Cost is the total D-BSP time T: the sum of superstep costs.
+	Cost float64
+	// Steps holds the per-superstep breakdown.
+	Steps []StepCost
+	// Contexts holds the final µ-word context of every processor.
+	Contexts [][]Word
+	// MaxTau is the maximum single-superstep local computation time, the
+	// τ of Theorem 5's statement ("each processor performs local
+	// computation for O(τ) time" per superstep).
+	MaxTau int64
+}
+
+// TotalTau returns Σ_s τ_s, the aggregate local computation term.
+func (r *Result) TotalTau() int64 {
+	var t int64
+	for _, s := range r.Steps {
+		t += s.Tau
+	}
+	return t
+}
+
+// CommCost returns Σ_s h_s·g_s, the aggregate communication term.
+func (r *Result) CommCost() float64 {
+	var c float64
+	for _, s := range r.Steps {
+		c += s.Cost - float64(s.Tau)
+	}
+	return c
+}
+
+// NewContexts allocates and initialises the contexts of prog: v blocks
+// of µ zeroed words with Init applied to each data region. Both the
+// native engine and the sequential simulators start from this state.
+func NewContexts(prog *Program) [][]Word {
+	mu := prog.Mu()
+	ctxs := make([][]Word, prog.V)
+	backing := make([]Word, prog.V*mu)
+	for p := range ctxs {
+		ctxs[p] = backing[p*mu : (p+1)*mu : (p+1)*mu]
+		if prog.Init != nil {
+			prog.Init(p, ctxs[p][:prog.Layout.Data])
+		}
+	}
+	return ctxs
+}
+
+// Run executes prog natively on a D-BSP(v, µ, g) machine: one goroutine
+// per processor within each superstep, a barrier between supersteps,
+// and message delivery at the superstep boundary. It returns the final
+// contexts and the exact model cost.
+func Run(prog *Program, g cost.Func) (*Result, error) {
+	return runHooked(prog, g, nil)
+}
+
+// runStepHooked executes one superstep: handlers in parallel, an
+// optional pre-delivery observer, then delivery.
+func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func()) (StepCost, error) {
+	sc := StepCost{Label: st.Label}
+	if st.Run == nil {
+		return sc, nil // dummy superstep: no computation, no messages
+	}
+	v := prog.V
+	ops := make([]int64, v)
+	errs := make([]error, v)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > v {
+		workers = v
+	}
+	var wg sync.WaitGroup
+	chunk := (v + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > v {
+			hi = v
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for p := lo; p < hi; p++ {
+				runProc(prog, ctxs, st, p, &ops[p], &errs[p])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	for p, err := range errs {
+		if err != nil {
+			return sc, fmt.Errorf("processor %d: %w", p, err)
+		}
+	}
+	for _, o := range ops {
+		if o > sc.Tau {
+			sc.Tau = o
+		}
+	}
+	if st.Transpose != nil {
+		if err := verifyTranspose(prog, ctxs, st); err != nil {
+			return sc, err
+		}
+	}
+	if collect != nil {
+		collect()
+	}
+	h, err := Deliver(prog.Layout, ctxs)
+	if err != nil {
+		return sc, err
+	}
+	sc.H = h
+	return sc, nil
+}
+
+// verifyTranspose checks a Superstep.Transpose declaration against the
+// outboxes the handlers actually produced: exactly one message per
+// processor, to the declared destination.
+func verifyTranspose(prog *Program, ctxs [][]Word, st Superstep) error {
+	l := prog.Layout
+	cs := ClusterSize(prog.V, st.Label)
+	tr := st.Transpose
+	if tr.M1*tr.M2 != cs {
+		return fmt.Errorf("transpose declaration %dx%d does not match cluster size %d", tr.M1, tr.M2, cs)
+	}
+	for p, ctx := range ctxs {
+		if n := int(ctx[l.OutCountOff()]); n != 1 {
+			return fmt.Errorf("transpose superstep: processor %d sent %d messages, want 1", p, n)
+		}
+		lo := (p / cs) * cs
+		want := lo + tr.Dest(p-lo)
+		if got := int(ctx[l.OutboxOff(0)]); got != want {
+			return fmt.Errorf("transpose superstep: processor %d sent to %d, want %d", p, got, want)
+		}
+	}
+	return nil
+}
+
+// runProc executes the handler for one processor, translating model
+// violations (which Ctx reports by panicking) into errors.
+func runProc(prog *Program, ctxs [][]Word, st Superstep, p int, ops *int64, errOut *error) {
+	defer func() {
+		if r := recover(); r != nil {
+			*errOut = fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	sst := &sliceStore{mem: ctxs[p]}
+	c := &Ctx{st: sst, layout: prog.Layout, id: p, v: prog.V, label: st.Label}
+	st.Run(c)
+	*ops = sst.ops
+}
+
+// Deliver moves every queued outbox message into its destination inbox
+// and returns the h-relation degree: max over processors of
+// max(sent, received). Inboxes are cleared first, messages are
+// delivered in ascending sender order (send order preserved within a
+// sender), and outboxes are cleared afterwards — the exact discipline
+// the sequential simulators replicate so that final states coincide.
+func Deliver(l Layout, ctxs [][]Word) (h int, err error) {
+	for _, ctx := range ctxs {
+		ctx[l.InCountOff()] = 0
+	}
+	received := make([]int, len(ctxs))
+	for p, ctx := range ctxs {
+		sent := int(ctx[l.OutCountOff()])
+		if sent > h {
+			h = sent
+		}
+		for k := 0; k < sent; k++ {
+			dest := int(ctx[l.OutboxOff(k)])
+			payload := ctx[l.OutboxOff(k)+1]
+			dctx := ctxs[dest]
+			n := int(dctx[l.InCountOff()])
+			if n >= l.MaxMsgs {
+				return 0, fmt.Errorf("inbox overflow at processor %d (MaxMsgs=%d)", dest, l.MaxMsgs)
+			}
+			dctx[l.InboxOff(n)] = Word(p)
+			dctx[l.InboxOff(n)+1] = payload
+			dctx[l.InCountOff()] = Word(n + 1)
+			received[dest]++
+		}
+		ctx[l.OutCountOff()] = 0
+	}
+	for _, r := range received {
+		if r > h {
+			h = r
+		}
+	}
+	return h, nil
+}

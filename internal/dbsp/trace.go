@@ -1,0 +1,167 @@
+package dbsp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// MessageTrace records one routed message.
+type MessageTrace struct {
+	Src, Dest int
+	Payload   Word
+}
+
+// StepTrace records one executed superstep's traffic.
+type StepTrace struct {
+	// Index and Label identify the superstep.
+	Index, Label int
+	// Messages lists every message routed at the superstep boundary, in
+	// delivery order.
+	Messages []MessageTrace
+}
+
+// Trace is the communication record of a native run, the raw material
+// for locality analysis: how far (in cluster levels) each message
+// actually travelled, independent of the labels the program declared.
+type Trace struct {
+	V     int
+	Steps []StepTrace
+}
+
+// RunTraced executes prog like Run while recording every routed
+// message.
+func RunTraced(prog *Program, g cost.Func) (*Result, *Trace, error) {
+	tr := &Trace{V: prog.V}
+	res, err := runHooked(prog, g, func(step, label int, msgs []MessageTrace) {
+		tr.Steps = append(tr.Steps, StepTrace{Index: step, Label: label, Messages: msgs})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// LocalityLevel returns the label of the finest cluster containing both
+// processors: the "distance" a message travels in hierarchy levels
+// (log v = same processor, 0 = opposite machine halves).
+func LocalityLevel(v, a, b int) int {
+	level := Log2(v)
+	for level > 0 && !SameCluster(v, level, a, b) {
+		level--
+	}
+	return level
+}
+
+// LocalityHistogram counts the trace's messages by the finest common
+// cluster level of their endpoints. Index i holds the messages whose
+// endpoints share an i-cluster but no finer one.
+func (t *Trace) LocalityHistogram() []int64 {
+	hist := make([]int64, Log2(t.V)+1)
+	for _, st := range t.Steps {
+		for _, m := range st.Messages {
+			hist[LocalityLevel(t.V, m.Src, m.Dest)]++
+		}
+	}
+	return hist
+}
+
+// Slack measures how tightly the program's superstep labels match its
+// actual traffic: for every message, the difference between the finest
+// common cluster level of its endpoints and the superstep's label
+// (0 = the label is exactly as fine as the message allows). The return
+// is the message-weighted average slack; large values mean the program
+// declares coarser supersteps than its communication requires, leaving
+// submachine locality unexposed.
+func (t *Trace) Slack() float64 {
+	var total, count float64
+	for _, st := range t.Steps {
+		for _, m := range st.Messages {
+			total += float64(LocalityLevel(t.V, m.Src, m.Dest) - st.Label)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / count
+}
+
+// Messages returns the total routed message count.
+func (t *Trace) Messages() int64 {
+	var n int64
+	for _, st := range t.Steps {
+		n += int64(len(st.Messages))
+	}
+	return n
+}
+
+// FormatHistogram renders the locality histogram as an aligned text
+// block with one row per level and a proportional bar.
+func (t *Trace) FormatHistogram() string {
+	hist := t.LocalityHistogram()
+	var max int64 = 1
+	for _, h := range hist {
+		if h > max {
+			max = h
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %10s  (finest common cluster of message endpoints)\n", "level", "messages")
+	for i, h := range hist {
+		bar := strings.Repeat("#", int(40*h/max))
+		fmt.Fprintf(&b, "%6d %10d  %s\n", i, h, bar)
+	}
+	return b.String()
+}
+
+// runHooked is Run with a per-superstep message observer (nil hook =
+// plain Run). The hook receives the outbox contents before delivery, in
+// the delivery order (ascending sender).
+func runHooked(prog *Program, g cost.Func, hook func(step, label int, msgs []MessageTrace)) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dbsp: nil bandwidth function")
+	}
+	ctxs := NewContexts(prog)
+	res := &Result{Contexts: ctxs}
+	for s, st := range prog.Steps {
+		var collect func()
+		if hook != nil && st.Run != nil {
+			step, label := s, st.Label
+			collect = func() {
+				hook(step, label, collectOutboxes(prog.Layout, ctxs))
+			}
+		}
+		sc, err := runStepHooked(prog, ctxs, st, collect)
+		if err != nil {
+			return nil, fmt.Errorf("dbsp: program %q superstep %d: %w", prog.Name, s, err)
+		}
+		sc.Cost = float64(sc.Tau) + float64(sc.H)*CommCost(g, prog.Mu(), prog.V, st.Label)
+		res.Steps = append(res.Steps, sc)
+		res.Cost += sc.Cost
+		if sc.Tau > res.MaxTau {
+			res.MaxTau = sc.Tau
+		}
+	}
+	return res, nil
+}
+
+// collectOutboxes snapshots every queued message in delivery order.
+func collectOutboxes(l Layout, ctxs [][]Word) []MessageTrace {
+	var msgs []MessageTrace
+	for p, ctx := range ctxs {
+		sent := int(ctx[l.OutCountOff()])
+		for k := 0; k < sent; k++ {
+			msgs = append(msgs, MessageTrace{
+				Src:     p,
+				Dest:    int(ctx[l.OutboxOff(k)]),
+				Payload: ctx[l.OutboxOff(k)+1],
+			})
+		}
+	}
+	return msgs
+}

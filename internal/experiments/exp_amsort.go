@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/amsort"
+	"repro/internal/bt"
+	"repro/internal/cost"
+	"repro/internal/theory"
+	"repro/internal/workload"
+)
+
+// E16AMSort validates the BT sorting substrate (the Approx-Median-Sort
+// stand-in): sorting N record words costs O(N·log N·f*(N)) with
+// O(f(N)) extra buffer space — the engine behind the Theorem 12
+// delivery phase.
+func E16AMSort(quick bool) *Table {
+	counts := []int64{1 << 10, 1 << 13, 1 << 16}
+	if quick {
+		counts = counts[:2]
+	}
+	t := &Table{
+		ID:    "E16",
+		Title: "BT sorting substrate (Approx-Median-Sort stand-in)",
+		Claim: "sorting m records on f(x)-BT in O(m·log m·f*(m)) time and " +
+			"o(m) extra buffer space",
+		Columns: []string{"f", "records", "measured", "N·logN·f*(N)", "ratio", "cold buf words"},
+		Notes: "Shape holds when the ratio is flat across m for each f; the " +
+			"buffer column shows the workspace stays sublinear.",
+	}
+	const rec = 2
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, count := range counts {
+			p := amsort.NewPlan(f, rec, count)
+			hot := int64(0)
+			cold := p.HotWords()
+			data := cold + p.ColdWords()
+			scratch := data + count*rec
+			m := bt.New(f, scratch+count*rec+8)
+			keys := workload.Keys(51, int(count), 10*count)
+			for i := int64(0); i < count; i++ {
+				m.Poke(data+i*rec, keys[i])
+				m.Poke(data+i*rec+1, i)
+			}
+			amsort.Sort(m, p, data, scratch, hot, cold)
+			if !amsort.IsSorted(m, data, count, rec) {
+				panic("E16: output not sorted")
+			}
+			pred := theory.AMSort(f, count*rec)
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(count), g(m.Cost()), g(pred), r(m.Cost() / pred),
+				fmt.Sprint(p.ColdWords())})
+		}
+	}
+	return t
+}

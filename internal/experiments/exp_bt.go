@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algos"
+	"repro/internal/core/btsim"
+	"repro/internal/core/selfsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/progtest"
+	"repro/internal/theory"
+	"repro/internal/workload"
+)
+
+// E08Brent validates Theorem 10 / Corollary 11: simulating
+// D-BSP(v, µ, g) on D-BSP(v′, µv/v′, g) with HMM processor memories
+// slows down by Θ(v/v′).
+func E08Brent(quick bool) *Table {
+	v := 256
+	if quick {
+		v = 64
+	}
+	t := &Table{
+		ID:    "E08",
+		Title: "Self-simulation slowdown (Theorem 10, Brent analogue)",
+		Claim: "a T-time full program on D-BSP(v, µ, g) runs in Θ(T·v/v′) on " +
+			"D-BSP(v′, µv/v′, g)",
+		Columns: []string{"g", "v'", "host cost", "module", "comm", "cost·v'/v", "×prev"},
+		Notes: "Shape holds when each halving of v′ roughly doubles the cost " +
+			"(×prev ≈ 2) and the normalised column stays within a constant band.",
+	}
+	g1 := cost.Poly{Alpha: 0.5}
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	prev := 0.0
+	for vp := v; vp >= 1; vp /= 2 {
+		res, err := selfsim.Simulate(prog, g1, vp, nil)
+		if err != nil {
+			panic(err)
+		}
+		ratio := "-"
+		if prev > 0 {
+			ratio = r(res.HostCost / prev)
+		}
+		t.Rows = append(t.Rows, []string{
+			g1.Name(), fmt.Sprint(vp), g(res.HostCost), g(res.ModuleCost), g(res.CommCost),
+			g(res.HostCost * float64(vp) / float64(v)), ratio})
+		prev = res.HostCost
+	}
+	return t
+}
+
+// E09BTSim validates Theorem 12: the D-BSP -> BT simulation costs
+// O(v·(τ + µ·Σ λ_i·log(µv/2^i))) — independent of the access function.
+func E09BTSim(quick bool) *Table {
+	vs := []int{64, 256, 1024}
+	if quick {
+		vs = vs[:2]
+	}
+	t := &Table{
+		ID:    "E09",
+		Title: "D-BSP -> BT simulation (Theorem 12): f-independence",
+		Claim: "the BT simulation time does not depend on f(x): block transfer " +
+			"hides the access costs almost completely",
+		Columns: []string{"v", "f", "sim cost", "cost/Thm12", "vs log x"},
+		Notes: "For each v, costs across the three access functions must agree " +
+			"within a small constant (the 'vs log x' column), and the Thm12 " +
+			"ratio must stay flat across v.",
+	}
+	funcs := []cost.Func{cost.Log{}, cost.Poly{Alpha: 0.3}, cost.Poly{Alpha: 0.5}}
+	for _, v := range vs {
+		prog := progtest.Rotate(v, progtest.Descending(v)...)
+		flat, err := dbsp.Run(prog, cost.Const{C: 1})
+		if err != nil {
+			panic(err)
+		}
+		pred := theory.BTSimulation(v, prog.Mu(), float64(flat.TotalTau()), prog.Lambda(true))
+		var logCost float64
+		for _, f := range funcs {
+			res, err := btsim.Simulate(prog, f, nil)
+			if err != nil {
+				panic(err)
+			}
+			if f.Name() == "log x" {
+				logCost = res.HostCost
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(v), f.Name(), g(res.HostCost), r(res.HostCost / pred),
+				r(res.HostCost / logCost)})
+		}
+	}
+	return t
+}
+
+// E10BTMatMul validates the Section 5.3 matrix-multiplication claim:
+// the simulation of the Proposition 7 algorithm on f(x)-BT is the
+// optimal O(n^(3/2)), while the step-by-step baseline pays an extra
+// unbounded touching factor.
+func E10BTMatMul(quick bool) *Table {
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:    "E10",
+		Title: "Matrix multiplication on BT (Section 5.3)",
+		Claim: "the simulated n-MM is optimal O(n^{3/2}); a step-by-step " +
+			"simulation is Ω(n^{3/2}·f*(n)) or worse",
+		Columns: []string{"f", "n", "scheduled", "sched/n^1.5", "naive", "naive/scheduled"},
+		Notes: "Shape holds when sched/n^1.5 stabilises for large n (small sizes " +
+			"carry the delivery machinery's fixed footprints) and the naive " +
+			"column pays the full-machine touching cost on every superstep.",
+	}
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, n := range sizes {
+			side := 1 << uint(dbsp.Log2(n)/2)
+			prog := algos.MatMul(n, workload.Matrix(13, side, 4), workload.Matrix(14, side, 4))
+			sched, err := btsim.Simulate(prog, f, nil)
+			if err != nil {
+				panic(err)
+			}
+			naive, err := btsim.SimulateNaive(prog, f)
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(n), g(sched.HostCost),
+				r(sched.HostCost / theory.MatMulBT(n)),
+				g(naive.HostCost), r(naive.HostCost / sched.HostCost)})
+		}
+	}
+	return t
+}
+
+// E11BTDFTChoice validates the Section 5.3 DFT discussion: on the BT
+// the two Proposition 8 schedules cost Θ(n·log² n) (butterfly) versus
+// Θ(n·log n·log log n) (recursive), even though both cost the same
+// O(n^α) on D-BSP(n, O(1), x^α) — so g = log x, which ranks them as
+// O(log² n) vs O(log n·log log n), is the effective bandwidth function
+// for targeting BT machines.
+func E11BTDFTChoice(quick bool) *Table {
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:    "E11",
+		Title: "DFT schedule choice on BT (Section 5.3)",
+		Claim: "asymptotically the recursive schedule beats the butterfly on " +
+			"f(x)-BT (n·log n·log log n vs n·log² n); g = x^α does not " +
+			"distinguish them but g = log x does",
+		Columns: []string{"n", "T bf (x^.5)", "T rec (x^.5)", "T bf (log)", "T rec (log)",
+			"BT bf", "BT rec", "BT bf/rec", "pred bf/rec"},
+		Notes: "Reproduction finding: the asymptotic ordering (pred bf/rec = " +
+			"log²n / (C·log n·log log n)) favours the recursive schedule only " +
+			"beyond n ≈ 2^50 once our schedule constants (C ≈ 6: three " +
+			"transposes per recursion level, two sub-recursions) are included; " +
+			"at feasible sizes the butterfly's smaller constants win on every " +
+			"column, and the measured BT bf/rec tracks the prediction's " +
+			"magnitude. The paper's claim is asymptotic and our measurements " +
+			"are consistent with it — the crossover simply lies far outside " +
+			"laptop scales.",
+	}
+	f := cost.Poly{Alpha: 0.5}
+	for _, n := range sizes {
+		input := workload.KeyFunc(41, n, 1<<20)
+		bf := algos.DFTButterfly(n, input)
+		rec := algos.DFTRecursive(n, input)
+		nbfA, _ := dbsp.Run(bf, f)
+		nrecA, _ := dbsp.Run(rec, f)
+		nbfL, _ := dbsp.Run(bf, cost.Log{})
+		nrecL, _ := dbsp.Run(rec, cost.Log{})
+		sbf, err := btsim.Simulate(bf, f, nil)
+		if err != nil {
+			panic(err)
+		}
+		srec, err := btsim.Simulate(rec, f, nil)
+		if err != nil {
+			panic(err)
+		}
+		pred := theory.DFTButterflyBT(n) / (6 * theory.DFTRecursiveBT(n))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), g(nbfA.Cost), g(nrecA.Cost), g(nbfL.Cost), g(nrecL.Cost),
+			g(sbf.HostCost), g(srec.HostCost), r(sbf.HostCost / srec.HostCost), r(pred)})
+	}
+	return t
+}
+
+// E15Compute validates the Section 5.2.1 COMPUTE bound: simulating
+// compute-only supersteps costs O(µ·n·c*(n)) beyond the raw work.
+func E15Compute(quick bool) *Table {
+	vs := []int{64, 256, 1024}
+	if quick {
+		vs = vs[:2]
+	}
+	t := &Table{
+		ID:      "E15",
+		Title:   "COMPUTE chunk recursion overhead (Section 5.2.1)",
+		Claim:   "local computation is simulated with overhead TM(n) = O(µ·n·c*(n))",
+		Columns: []string{"f", "v", "sim cost", "steps·µ·v·c*(v)", "ratio"},
+		Notes:   "Shape holds when the ratio is flat across v for each f.",
+	}
+	steps := 6
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, v := range vs {
+			labels := make([]int, steps)
+			prog := progtest.ComputeOnly(v, 4, labels...)
+			res, err := btsim.Simulate(prog, f, nil)
+			if err != nil {
+				panic(err)
+			}
+			pred := float64(steps+1) * theory.ComputeOverhead(f, int64(prog.Mu()), int64(v))
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(v), g(res.HostCost), g(pred), r(res.HostCost / pred)})
+		}
+	}
+	return t
+}
+
+// E17RouteDelivery is the Section 6 extension/ablation: delivering
+// declared transposes by riffle routing (rational permutations) instead
+// of sorting, which the paper notes turns the recursive DFT simulation
+// into the optimal O(n·log n).
+func E17RouteDelivery(quick bool) *Table {
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:    "E17",
+		Title: "Transpose routing vs sorting delivery (Section 6 remark)",
+		Claim: "simulating the recursive DFT's transposes by the rational-" +
+			"permutation algorithm instead of sorting makes the simulation " +
+			"O(n·log n), optimal on f(x)-BT",
+		Columns: []string{"f", "n", "routed", "sorted", "sorted/routed", "routed/(n·log n)"},
+		Notes: "Shape holds when routing wins (ratio > 1) and the routed cost " +
+			"divided by n·log n stays flat across n.",
+	}
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, n := range sizes {
+			prog := algos.DFTRecursive(n, workload.KeyFunc(62, n, 1<<20))
+			routed, err := btsim.Simulate(prog, f, nil)
+			if err != nil {
+				panic(err)
+			}
+			sorted, err := btsim.Simulate(prog, f, &btsim.Options{DisableRouteDelivery: true})
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(n), g(routed.HostCost), g(sorted.HostCost),
+				r(sorted.HostCost / routed.HostCost),
+				r(routed.HostCost / theory.DFTOptimalBT(n))})
+		}
+	}
+	return t
+}
+
+// E18DirectDelivery is the constant-threshold ablation: word-level
+// delivery for tiny clusters versus forcing every cluster through the
+// staging machinery, whose fixed footprint dwarfs small clusters.
+func E18DirectDelivery(quick bool) *Table {
+	vs := []int{64, 256, 1024}
+	if quick {
+		vs = vs[:2]
+	}
+	t := &Table{
+		ID:    "E18",
+		Title: "Direct-delivery threshold ablation",
+		Claim: "delivering clusters of <= 8 blocks word-at-a-time at the top of " +
+			"memory is asymptotically free and removes a fixed staging " +
+			"footprint that dominates fine supersteps",
+		Columns: []string{"f", "v", "threshold 8", "disabled", "disabled/thr8"},
+		Notes: "The gain concentrates on fine-superstep-heavy programs; the " +
+			"threshold is a constant, so Theorem 12's bound is unaffected.",
+	}
+	f := cost.Poly{Alpha: 0.5}
+	for _, v := range vs {
+		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
+		def, err := btsim.Simulate(prog, f, nil)
+		if err != nil {
+			panic(err)
+		}
+		off, err := btsim.Simulate(prog, f, &btsim.Options{DirectDeliveryMaxBlocks: -1})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			f.Name(), fmt.Sprint(v), g(def.HostCost), g(off.HostCost),
+			r(off.HostCost / def.HostCost)})
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algos"
+	"repro/internal/core/hmmsim"
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+	"repro/internal/theory"
+	"repro/internal/workload"
+)
+
+// E05MatMul validates Proposition 7: the recursive n-MM algorithm runs
+// in O(n^α) / O(√n·log n) / O(√n) on D-BSP(n, O(1), x^α) depending on
+// α ≷ 1/2, and its HMM simulation matches the Θ(n·T_MM(n)) lower bound
+// of [1].
+func E05MatMul(quick bool) *Table {
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:    "E05",
+		Title: "Matrix multiplication (Proposition 7)",
+		Claim: "T_MM(n) = O(n^α) for α>1/2, O(√n log n) at α=1/2, O(√n) for α<1/2; " +
+			"the HMM simulation is optimal Θ(n·T_MM(n))",
+		Columns: []string{"g=f", "n", "T native", "T/pred", "HMM sim", "sim/pred"},
+		Notes: "Shape holds when both ratio columns are flat across n for each g, " +
+			"showing the α = 1/2 crossover of the proposition.",
+	}
+	funcs := []cost.Func{cost.Poly{Alpha: 0.75}, cost.Poly{Alpha: 0.5}, cost.Poly{Alpha: 0.25}, cost.Log{}}
+	for _, f := range funcs {
+		for _, n := range sizes {
+			side := 1 << uint(dbsp.Log2(n)/2)
+			prog := algos.MatMul(n, workload.Matrix(11, side, 4), workload.Matrix(12, side, 4))
+			native, err := dbsp.Run(prog, f)
+			if err != nil {
+				panic(err)
+			}
+			sim, err := hmmsim.Simulate(prog, f, nil)
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(n), g(native.Cost),
+				r(native.Cost / theory.MatMulDBSP(f, n)),
+				g(sim.HostCost), r(sim.HostCost / theory.MatMulHMM(f, n))})
+		}
+	}
+	return t
+}
+
+// E06DFT validates Proposition 8: the butterfly schedule costs O(n^α)
+// on x^α, the recursive schedule O(log n·log log n) on log x, and the
+// HMM simulations match the best known bounds O(n^(1+α)) and
+// O(n·log n·log log n) of [1].
+func E06DFT(quick bool) *Table {
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:    "E06",
+		Title: "Discrete Fourier Transform (Proposition 8)",
+		Claim: "T_DFT = O(n^α) on x^α (butterfly) and O(log n·log log n) on log x " +
+			"(recursive); simulations match the known HMM bounds",
+		Columns: []string{"schedule", "g=f", "n", "T native", "T/pred", "HMM sim", "sim/pred"},
+		Notes:   "Ratios flat across n = shape holds; each schedule is paired with its natural g.",
+	}
+	type cfg struct {
+		name string
+		prog func(n int) *dbsp.Program
+		f    cost.Func
+	}
+	input := func(n int) func(p int) int64 { return workload.KeyFunc(21, n, 1<<20) }
+	cfgs := []cfg{
+		{"butterfly", func(n int) *dbsp.Program { return algos.DFTButterfly(n, input(n)) }, cost.Poly{Alpha: 0.5}},
+		{"recursive", func(n int) *dbsp.Program { return algos.DFTRecursive(n, input(n)) }, cost.Log{}},
+		{"recursive", func(n int) *dbsp.Program { return algos.DFTRecursive(n, input(n)) }, cost.Poly{Alpha: 0.5}},
+	}
+	for _, c := range cfgs {
+		for _, n := range sizes {
+			prog := c.prog(n)
+			native, err := dbsp.Run(prog, c.f)
+			if err != nil {
+				panic(err)
+			}
+			sim, err := hmmsim.Simulate(prog, c.f, nil)
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				c.name, c.f.Name(), fmt.Sprint(n), g(native.Cost),
+				r(native.Cost / theory.DFTDBSP(c.f, n)),
+				g(sim.HostCost), r(sim.HostCost / theory.DFTHMM(c.f, n))})
+		}
+	}
+	return t
+}
+
+// E07Sort validates Proposition 9: n-sorting in O(n^α) on
+// D-BSP(n, O(1), x^α), whose simulation is the optimal Θ(n^(1+α)) on
+// the x^α-HMM.
+func E07Sort(quick bool) *Table {
+	sizes := []int{64, 256, 1024}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:    "E07",
+		Title: "Sorting (Proposition 9)",
+		Claim: "n-sorting runs in O(n^α) on D-BSP(n, O(1), x^α); simulated on " +
+			"x^α-HMM it is the optimal Θ(n^(1+α))",
+		Columns: []string{"g=f", "n", "T native", "T/pred", "HMM sim", "sim/pred"},
+		Notes: "Ratios flat across n = shape holds. On g = log x the bitonic schedule " +
+			"costs Θ(log³ n), consistent with the paper's Ω(log² n) remark for all " +
+			"known BSP-like strategies.",
+	}
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Poly{Alpha: 0.25}} {
+		for _, n := range sizes {
+			prog := algos.Sort(n, workload.KeyFunc(31, n, int64(4*n)))
+			native, err := dbsp.Run(prog, f)
+			if err != nil {
+				panic(err)
+			}
+			sim, err := hmmsim.Simulate(prog, f, nil)
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(n), g(native.Cost),
+				r(native.Cost / theory.SortDBSP(f, n)),
+				g(sim.HostCost), r(sim.HostCost / theory.SortHMM(f, n))})
+		}
+	}
+	return t
+}

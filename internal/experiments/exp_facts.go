@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bt"
+	"repro/internal/cost"
+	"repro/internal/hmm"
+	"repro/internal/theory"
+)
+
+// E01TouchHMM validates Fact 1: touching the first n cells of an
+// f(x)-HMM costs Θ(n·f(n)). The measured/predicted ratio must stay
+// within constant factors across the sweep.
+func E01TouchHMM(quick bool) *Table {
+	sizes := []int64{1 << 10, 1 << 13, 1 << 16, 1 << 19}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:      "E01",
+		Title:   "Touching on the HMM (Fact 1)",
+		Claim:   "touching the first n cells of an f(x)-HMM takes Θ(n·f(n))",
+		Columns: []string{"f", "n", "measured", "n·f(n)", "ratio"},
+		Notes:   "Shape holds when the ratio column is flat across n for each f.",
+	}
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Poly{Alpha: 0.25}, cost.Log{}} {
+		for _, n := range sizes {
+			m := hmm.New(f, n)
+			m.Touch(n)
+			pred := theory.TouchHMM(f, n)
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(n), g(m.Cost()), g(pred), r(m.Cost() / pred)})
+		}
+	}
+	return t
+}
+
+// E02TouchBT validates Fact 2: touching n cells of an f(x)-BT costs
+// Θ(n·f*(n)) — in particular Θ(n·log log n) for f = x^α and
+// Θ(n·log* n) for f = log x, far below the HMM's Θ(n·f(n)).
+func E02TouchBT(quick bool) *Table {
+	sizes := []int64{1 << 10, 1 << 13, 1 << 16, 1 << 19}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := &Table{
+		ID:      "E02",
+		Title:   "Touching with block transfer (Fact 2)",
+		Claim:   "touching n cells of an f(x)-BT takes Θ(n·f*(n))",
+		Columns: []string{"f", "n", "measured", "n·f*(n)", "ratio", "HMM cost (Fact 1)"},
+		Notes: "Shape holds when the ratio column is flat and the measured BT cost " +
+			"falls ever further below the Fact 1 column as n grows.",
+	}
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, n := range sizes {
+			m := bt.New(f, n)
+			m.Touch(n)
+			pred := theory.TouchBT(f, n)
+			t.Rows = append(t.Rows, []string{
+				f.Name(), fmt.Sprint(n), g(m.Cost()), g(pred), r(m.Cost() / pred),
+				g(theory.TouchHMM(f, n))})
+		}
+	}
+	return t
+}

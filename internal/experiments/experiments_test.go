@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke run: every experiment must produce a well-formed table in
+// quick mode, with consistent row widths and non-empty measurements.
+func TestAllQuick(t *testing.T) {
+	tables := All(true)
+	if len(tables) < 14 {
+		t.Fatalf("only %d experiments", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || tab.Claim == "" {
+			t.Errorf("%s: incomplete metadata", tab.ID)
+		}
+		if seen[tab.ID] {
+			t.Errorf("duplicate experiment id %s", tab.ID)
+		}
+		seen[tab.ID] = true
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", tab.ID)
+		}
+		for i, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s row %d: %d cells for %d columns", tab.ID, i, len(row), len(tab.Columns))
+			}
+			for j, cell := range row {
+				if strings.TrimSpace(cell) == "" {
+					t.Errorf("%s row %d col %d empty", tab.ID, i, j)
+				}
+			}
+		}
+		out := tab.Render()
+		if !strings.Contains(out, tab.ID) || !strings.Contains(out, "|") {
+			t.Errorf("%s: render incomplete", tab.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, id := range []string{"E01", "E05", "E09", "E17"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}

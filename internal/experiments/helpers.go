@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"repro/internal/algos"
+	"repro/internal/dbsp"
+	"repro/internal/workload"
+)
+
+// Program builders shared by the slack audit (E19).
+
+func algosMatMul(n, side int) *dbsp.Program {
+	return algos.MatMul(n, workload.Matrix(71, side, 4), workload.Matrix(72, side, 4))
+}
+
+func algosDFTButterfly(n int) *dbsp.Program {
+	return algos.DFTButterfly(n, workload.KeyFunc(73, n, 1<<20))
+}
+
+func algosDFTRecursive(n int) *dbsp.Program {
+	return algos.DFTRecursive(n, workload.KeyFunc(74, n, 1<<20))
+}
+
+func algosSort(n int) *dbsp.Program {
+	return algos.Sort(n, workload.KeyFunc(75, n, int64(4*n)))
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every quantitative claim of the paper
+// as a measured-vs-predicted table (the experiment index of DESIGN.md).
+// cmd/experiments prints the tables; EXPERIMENTS.md records a reference
+// run; the root bench_test.go exposes each as a testing.B benchmark.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	// ID is the experiment identifier (E01..E16).
+	ID string
+	// Title summarises the experiment.
+	Title string
+	// Claim quotes the paper statement being validated.
+	Claim string
+	// Columns and Rows hold the measurements.
+	Columns []string
+	Rows    [][]string
+	// Notes records interpretation guidance (what "shape holds" means).
+	Notes string
+}
+
+// Render formats the table as aligned Markdown.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "Claim: %s\n\n", t.Claim)
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, cell := range cells {
+			fmt.Fprintf(&b, " %-*s |", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	b.WriteString("|")
+	for _, w := range width {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// g formats a measurement compactly.
+func g(x float64) string { return fmt.Sprintf("%.3g", x) }
+
+// r formats a ratio.
+func r(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// All runs every experiment and returns the tables in index order.
+// quick trims the sweeps for fast smoke runs.
+func All(quick bool) []*Table {
+	return []*Table{
+		E01TouchHMM(quick),
+		E02TouchBT(quick),
+		E03HMMSlowdown(quick),
+		E04NaiveVsScheduled(quick),
+		E05MatMul(quick),
+		E06DFT(quick),
+		E07Sort(quick),
+		E08Brent(quick),
+		E09BTSim(quick),
+		E10BTMatMul(quick),
+		E11BTDFTChoice(quick),
+		E14SmoothingAblation(quick),
+		E15Compute(quick),
+		E16AMSort(quick),
+		E17RouteDelivery(quick),
+		E18DirectDelivery(quick),
+		E19LabelSlack(quick),
+	}
+}
+
+// Lookup returns the experiment function by ID, for cmd/experiments
+// -only filtering.
+func Lookup(id string) (func(bool) *Table, bool) {
+	m := map[string]func(bool) *Table{
+		"E01": E01TouchHMM,
+		"E02": E02TouchBT,
+		"E03": E03HMMSlowdown,
+		"E04": E04NaiveVsScheduled,
+		"E05": E05MatMul,
+		"E06": E06DFT,
+		"E07": E07Sort,
+		"E08": E08Brent,
+		"E09": E09BTSim,
+		"E10": E10BTMatMul,
+		"E11": E11BTDFTChoice,
+		"E14": E14SmoothingAblation,
+		"E15": E15Compute,
+		"E16": E16AMSort,
+		"E17": E17RouteDelivery,
+		"E18": E18DirectDelivery,
+		"E19": E19LabelSlack,
+	}
+	fn, ok := m[id]
+	return fn, ok
+}
+
+// JSON serialises the table for machine consumption (cmd/experiments
+// -json).
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}

@@ -1,0 +1,280 @@
+// Package hmm implements the Hierarchical Memory Model of Aggarwal,
+// Alpern, Chandra and Snir (paper reference [1]): a random access
+// machine where touching memory address x costs f(x) time for a
+// nondecreasing access function f. The machine is mechanical — every
+// Read/Write moves real words in a real array and charges the exact
+// model cost — so the simulation theorems of the paper can be validated
+// against observed cost rather than against re-derived formulas.
+//
+// Cost convention (paper Section 2): an n-ary operation touching cells
+// x1..xn takes 1 + Σ f(xi). We charge f(x) per word access plus 1 per
+// explicit compute operation (ChargeOps), which is within a constant
+// factor of the model for bounded-arity operations.
+package hmm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cost"
+)
+
+// Word is the unit of HMM storage.
+type Word = int64
+
+// Op identifies a memory operation kind for trace hooks.
+type Op uint8
+
+// Operation kinds reported to trace hooks.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Stats aggregates the cost accounting of a Machine.
+type Stats struct {
+	// Cost is the total charged model time: Σ f(x) over accesses plus
+	// compute operations.
+	Cost float64
+	// Reads and Writes count word accesses by kind.
+	Reads, Writes int64
+	// ComputeOps counts unit-time compute operations charged with
+	// ChargeOps.
+	ComputeOps int64
+	// MaxAddr is the highest address touched so far (-1 if none).
+	MaxAddr int64
+	// Depth[k] counts word accesses whose address has bit-length k
+	// (address 0 in bucket 0): the touch-depth profile showing how much
+	// of the traffic stays near the top of memory.
+	Depth [48]int64
+}
+
+// DepthByBounds rebuckets the touch-depth profile by explicit level
+// capacities (e.g. a cost.Table's Bounds): the result has
+// len(bounds)+1 entries, the last counting accesses beyond every bound.
+func (s Stats) DepthByBounds(bounds []int64) []int64 {
+	out := make([]int64, len(bounds)+1)
+	for k, n := range s.Depth {
+		if n == 0 {
+			continue
+		}
+		// Addresses in bucket k lie in [2^(k-1), 2^k) (bucket 0 = {0}).
+		lo := int64(0)
+		if k > 0 {
+			lo = int64(1) << uint(k-1)
+		}
+		hi := int64(1)<<uint(k) - 1
+		// Assign the whole bucket to the level of its midpoint; buckets
+		// straddling a boundary split their count proportionally by the
+		// boundary position (an approximation adequate for profiles).
+		mid := (lo + hi) / 2
+		lvl := len(bounds)
+		for i, b := range bounds {
+			if mid < b {
+				lvl = i
+				break
+			}
+		}
+		out[lvl] += n
+	}
+	return out
+}
+
+// Accesses returns Reads + Writes.
+func (s Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// Machine is an f(x)-HMM with a fixed-size word memory.
+type Machine struct {
+	f     cost.Func
+	mem   []Word
+	stats Stats
+	// Trace, when non-nil, is invoked for every word access with the
+	// operation kind and address. Used by cmd/memtrace and layout tests.
+	Trace func(op Op, addr int64)
+}
+
+// New returns an f(x)-HMM with size words of zeroed memory.
+// It panics if size is negative.
+func New(f cost.Func, size int64) *Machine {
+	if size < 0 {
+		panic(fmt.Sprintf("hmm: negative memory size %d", size))
+	}
+	return &Machine{f: f, mem: make([]Word, size), stats: Stats{MaxAddr: -1}}
+}
+
+// AccessFunc returns the machine's access function.
+func (m *Machine) AccessFunc() cost.Func { return m.f }
+
+// Size returns the memory size in words.
+func (m *Machine) Size() int64 { return int64(len(m.mem)) }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Cost returns the total charged model time so far.
+func (m *Machine) Cost() float64 { return m.stats.Cost }
+
+// ResetStats zeroes the cost accounting but leaves memory contents.
+func (m *Machine) ResetStats() { m.stats = Stats{MaxAddr: -1} }
+
+// ResetAll zeroes both statistics and memory contents.
+func (m *Machine) ResetAll() {
+	m.ResetStats()
+	clear(m.mem)
+}
+
+func (m *Machine) checkAddr(x int64) {
+	if x < 0 || x >= int64(len(m.mem)) {
+		panic(fmt.Sprintf("hmm: address %d out of range [0,%d)", x, len(m.mem)))
+	}
+}
+
+func (m *Machine) charge(op Op, x int64) {
+	m.stats.Cost += m.f.Cost(x)
+	if x > m.stats.MaxAddr {
+		m.stats.MaxAddr = x
+	}
+	m.stats.Depth[bits.Len64(uint64(x))]++
+	if op == OpRead {
+		m.stats.Reads++
+	} else {
+		m.stats.Writes++
+	}
+	if m.Trace != nil {
+		m.Trace(op, x)
+	}
+}
+
+// Read returns the word at address x, charging f(x).
+func (m *Machine) Read(x int64) Word {
+	m.checkAddr(x)
+	m.charge(OpRead, x)
+	return m.mem[x]
+}
+
+// Write stores v at address x, charging f(x).
+func (m *Machine) Write(x int64, v Word) {
+	m.checkAddr(x)
+	m.charge(OpWrite, x)
+	m.mem[x] = v
+}
+
+// AddCost charges raw model time without touching memory or operation
+// counters. It exists for model extensions (the BT machine charges its
+// pipelined block transfers this way). It panics if c is negative.
+func (m *Machine) AddCost(c float64) {
+	if c < 0 {
+		panic("hmm: negative cost")
+	}
+	m.stats.Cost += c
+}
+
+// NoteAddr records x as touched for MaxAddr tracking without charging
+// cost — used by block-transfer extensions whose cost is charged via
+// AddCost but which still move data across the address space.
+func (m *Machine) NoteAddr(x int64) {
+	if x > m.stats.MaxAddr {
+		m.stats.MaxAddr = x
+	}
+}
+
+// ChargeOps charges n unit-time compute operations (no memory touched).
+// It panics if n is negative.
+func (m *Machine) ChargeOps(n int64) {
+	if n < 0 {
+		panic("hmm: negative op count")
+	}
+	m.stats.Cost += float64(n)
+	m.stats.ComputeOps += n
+}
+
+// SwapWords exchanges the contents of addresses x and y, charging
+// 2(f(x)+f(y)) — a read and a write at each address.
+func (m *Machine) SwapWords(x, y int64) {
+	vx := m.Read(x)
+	vy := m.Read(y)
+	m.Write(x, vy)
+	m.Write(y, vx)
+}
+
+// MoveRange copies n words from [src, src+n) to [dst, dst+n), word by
+// word (the plain HMM has no block transfer; each word costs
+// f(src+i)+f(dst+i)). Overlapping ranges are handled like copy().
+func (m *Machine) MoveRange(src, dst, n int64) {
+	if n == 0 {
+		return
+	}
+	m.checkAddr(src)
+	m.checkAddr(src + n - 1)
+	m.checkAddr(dst)
+	m.checkAddr(dst + n - 1)
+	if dst < src {
+		for i := int64(0); i < n; i++ {
+			m.Write(dst+i, m.Read(src+i))
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			m.Write(dst+i, m.Read(src+i))
+		}
+	}
+}
+
+// SwapRange exchanges the n-word ranges at a and b, which must not
+// overlap. Each word costs a read and a write at both addresses.
+func (m *Machine) SwapRange(a, b, n int64) {
+	if n == 0 {
+		return
+	}
+	if overlap(a, b, n) {
+		panic(fmt.Sprintf("hmm: SwapRange overlap: a=%d b=%d n=%d", a, b, n))
+	}
+	for i := int64(0); i < n; i++ {
+		m.SwapWords(a+i, b+i)
+	}
+}
+
+func overlap(a, b, n int64) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return a+n > b
+}
+
+// Touch reads the first n cells in order (the touching problem of
+// Fact 1, cost Θ(n·f(n)) for (2,c)-uniform f).
+func (m *Machine) Touch(n int64) {
+	for x := int64(0); x < n; x++ {
+		m.Read(x)
+	}
+}
+
+// Peek returns the word at x without charging cost — for test
+// assertions and snapshot rendering only.
+func (m *Machine) Peek(x int64) Word {
+	m.checkAddr(x)
+	return m.mem[x]
+}
+
+// Poke stores v at x without charging cost — for test setup only.
+func (m *Machine) Poke(x int64, v Word) {
+	m.checkAddr(x)
+	m.mem[x] = v
+}
+
+// Snapshot copies the n words starting at addr without charging cost —
+// for assertions and rendering only.
+func (m *Machine) Snapshot(addr, n int64) []Word {
+	m.checkAddr(addr)
+	m.checkAddr(addr + n - 1)
+	out := make([]Word, n)
+	copy(out, m.mem[addr:addr+n])
+	return out
+}

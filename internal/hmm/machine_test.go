@@ -1,0 +1,271 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func newFlat(size int64) *Machine { return New(cost.Const{C: 1}, size) }
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := newFlat(16)
+	m.Write(3, 42)
+	if got := m.Read(3); got != 42 {
+		t.Errorf("Read(3) = %d, want 42", got)
+	}
+	if got := m.Read(0); got != 0 {
+		t.Errorf("Read(0) = %d, want zero-initialised 0", got)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	m := New(cost.Poly{Alpha: 0.5}, 1024)
+	m.Write(100, 1) // f(100) = 10
+	m.Read(100)     // f(100) = 10
+	if got := m.Cost(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("Cost = %g, want 20", got)
+	}
+	st := m.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.MaxAddr != 100 {
+		t.Errorf("Stats = %+v, want 1 read, 1 write, MaxAddr 100", st)
+	}
+}
+
+func TestChargeOps(t *testing.T) {
+	m := newFlat(1)
+	m.ChargeOps(17)
+	if m.Cost() != 17 || m.Stats().ComputeOps != 17 {
+		t.Errorf("after ChargeOps(17): cost=%g ops=%d", m.Cost(), m.Stats().ComputeOps)
+	}
+}
+
+func TestChargeOpsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ChargeOps(-1) did not panic")
+		}
+	}()
+	newFlat(1).ChargeOps(-1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(m *Machine){
+		func(m *Machine) { m.Read(-1) },
+		func(m *Machine) { m.Read(16) },
+		func(m *Machine) { m.Write(16, 0) },
+		func(m *Machine) { m.MoveRange(0, 10, 8) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on out-of-range access", i)
+				}
+			}()
+			fn(newFlat(16))
+		}()
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(cost.Log{}, -1)
+}
+
+func TestSwapWords(t *testing.T) {
+	m := newFlat(8)
+	m.Poke(1, 10)
+	m.Poke(5, 50)
+	m.SwapWords(1, 5)
+	if m.Peek(1) != 50 || m.Peek(5) != 10 {
+		t.Errorf("after SwapWords: [1]=%d [5]=%d, want 50, 10", m.Peek(1), m.Peek(5))
+	}
+	if m.Stats().Reads != 2 || m.Stats().Writes != 2 {
+		t.Errorf("SwapWords stats = %+v, want 2 reads 2 writes", m.Stats())
+	}
+}
+
+func TestMoveRangeForwardBackward(t *testing.T) {
+	m := newFlat(16)
+	for i := int64(0); i < 4; i++ {
+		m.Poke(i, Word(i+1))
+	}
+	m.MoveRange(0, 8, 4) // disjoint
+	for i := int64(0); i < 4; i++ {
+		if m.Peek(8+i) != Word(i+1) {
+			t.Fatalf("disjoint move: [%d]=%d, want %d", 8+i, m.Peek(8+i), i+1)
+		}
+	}
+	// Overlapping move forward (dst > src) must behave like copy().
+	m2 := newFlat(16)
+	for i := int64(0); i < 6; i++ {
+		m2.Poke(i, Word(i+1))
+	}
+	m2.MoveRange(0, 2, 6)
+	for i := int64(0); i < 6; i++ {
+		if m2.Peek(2+i) != Word(i+1) {
+			t.Fatalf("overlap fwd: [%d]=%d, want %d", 2+i, m2.Peek(2+i), i+1)
+		}
+	}
+	// Overlapping move backward.
+	m3 := newFlat(16)
+	for i := int64(0); i < 6; i++ {
+		m3.Poke(2+i, Word(i+1))
+	}
+	m3.MoveRange(2, 0, 6)
+	for i := int64(0); i < 6; i++ {
+		if m3.Peek(i) != Word(i+1) {
+			t.Fatalf("overlap bwd: [%d]=%d, want %d", i, m3.Peek(i), i+1)
+		}
+	}
+}
+
+func TestMoveRangeZeroLen(t *testing.T) {
+	m := newFlat(4)
+	m.MoveRange(0, 2, 0)
+	if m.Cost() != 0 {
+		t.Errorf("zero-length move charged %g", m.Cost())
+	}
+}
+
+func TestSwapRange(t *testing.T) {
+	m := newFlat(16)
+	for i := int64(0); i < 4; i++ {
+		m.Poke(i, Word(i+1))
+		m.Poke(8+i, Word(100+i))
+	}
+	m.SwapRange(0, 8, 4)
+	for i := int64(0); i < 4; i++ {
+		if m.Peek(i) != Word(100+i) || m.Peek(8+i) != Word(i+1) {
+			t.Fatalf("SwapRange mismatch at %d", i)
+		}
+	}
+}
+
+func TestSwapRangeOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SwapRange with overlap did not panic")
+		}
+	}()
+	newFlat(16).SwapRange(0, 2, 4)
+}
+
+// Fact 1 on the mechanical machine: Touch(n) cost is Θ(n f(n)).
+func TestTouchMatchesFact1(t *testing.T) {
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, n := range []int64{256, 4096} {
+			m := New(f, n)
+			m.Touch(n)
+			want := cost.TouchHMM(f, n)
+			if math.Abs(m.Cost()-want) > 1e-6 {
+				t.Errorf("%s n=%d: Touch cost %g, want exact sum %g", f.Name(), n, m.Cost(), want)
+			}
+		}
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	m := newFlat(8)
+	var ops []Op
+	var addrs []int64
+	m.Trace = func(op Op, addr int64) {
+		ops = append(ops, op)
+		addrs = append(addrs, addr)
+	}
+	m.Write(2, 9)
+	m.Read(2)
+	if len(ops) != 2 || ops[0] != OpWrite || ops[1] != OpRead || addrs[0] != 2 || addrs[1] != 2 {
+		t.Errorf("trace = %v %v, want [write read] [2 2]", ops, addrs)
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Error("Op.String mismatch")
+	}
+}
+
+func TestResetStatsAndAll(t *testing.T) {
+	m := newFlat(8)
+	m.Write(3, 7)
+	m.ResetStats()
+	if m.Cost() != 0 || m.Stats().Writes != 0 {
+		t.Error("ResetStats did not clear stats")
+	}
+	if m.Peek(3) != 7 {
+		t.Error("ResetStats cleared memory contents")
+	}
+	m.ResetAll()
+	if m.Peek(3) != 0 {
+		t.Error("ResetAll did not clear memory")
+	}
+}
+
+func TestSnapshotDoesNotCharge(t *testing.T) {
+	m := newFlat(8)
+	m.Poke(1, 11)
+	s := m.Snapshot(0, 4)
+	if s[1] != 11 || m.Cost() != 0 {
+		t.Errorf("Snapshot = %v cost=%g, want [0 11 0 0] cost 0", s, m.Cost())
+	}
+}
+
+// Property: MoveRange preserves multiset content for disjoint ranges and
+// cost equals Σ f(src+i) + f(dst+i).
+func TestMoveRangeCostProperty(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	prop := func(rawN uint8) bool {
+		n := int64(rawN%16) + 1
+		m := New(f, 64)
+		for i := int64(0); i < n; i++ {
+			m.Poke(i, Word(i)*3+1)
+		}
+		m.MoveRange(0, 32, n)
+		var want float64
+		for i := int64(0); i < n; i++ {
+			want += f.Cost(i) + f.Cost(32+i)
+			if m.Peek(32+i) != Word(i)*3+1 {
+				return false
+			}
+		}
+		return math.Abs(m.Cost()-want) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthProfile(t *testing.T) {
+	m := newFlat(1 << 12)
+	m.Read(0)    // bucket 0
+	m.Read(1)    // bucket 1
+	m.Read(3)    // bucket 2
+	m.Read(1000) // bucket 10
+	st := m.Stats()
+	if st.Depth[0] != 1 || st.Depth[1] != 1 || st.Depth[2] != 1 || st.Depth[10] != 1 {
+		t.Errorf("depth profile wrong: %v", st.Depth[:12])
+	}
+	// Rebucket by explicit bounds: [0,8) level 0, [8, 512) level 1, rest 2.
+	byLevel := st.DepthByBounds([]int64{8, 512})
+	if byLevel[0] != 3 || byLevel[1] != 0 || byLevel[2] != 1 {
+		t.Errorf("DepthByBounds = %v, want [3 0 1]", byLevel)
+	}
+}
+
+func TestDepthProfileTouch(t *testing.T) {
+	m := New(cost.Log{}, 1<<10)
+	m.Touch(1 << 10)
+	st := m.Stats()
+	var total int64
+	for _, n := range st.Depth {
+		total += n
+	}
+	if total != 1<<10 {
+		t.Errorf("depth total = %d, want 1024", total)
+	}
+}

@@ -1,0 +1,92 @@
+// Package progtest provides small D-BSP programs with tunable label
+// structure, used by the simulator test suites and benchmarks. The
+// handlers fix their communication pattern from construction-time
+// parameters (never from c.Label()), so smoothing may relabel freely.
+package progtest
+
+import (
+	"fmt"
+
+	"repro/internal/dbsp"
+)
+
+// RotateHandler returns a handler that folds the inbox into data word 0
+// and then sends the value to the cyclically next processor within its
+// label-level cluster (label fixed at construction).
+func RotateHandler(label int) func(c *dbsp.Ctx) {
+	return func(c *dbsp.Ctx) {
+		acc := c.Load(0)
+		for k := 0; k < c.NumRecv(); k++ {
+			src, payload := c.Recv(k)
+			acc += payload + dbsp.Word(src%3)
+		}
+		c.Store(0, acc)
+		cs := dbsp.ClusterSize(c.V(), label)
+		lo, _ := dbsp.ClusterRange(c.V(), label, dbsp.ClusterIndex(c.V(), label, c.ID()))
+		c.Send(lo+((c.ID()-lo)+1)%cs, acc)
+	}
+}
+
+// Rotate builds a program running RotateHandler once per given label,
+// closing with a global consume step.
+func Rotate(v int, labels ...int) *dbsp.Program {
+	steps := make([]dbsp.Superstep, 0, len(labels)+1)
+	for _, l := range labels {
+		steps = append(steps, dbsp.Superstep{Label: l, Run: RotateHandler(l)})
+	}
+	steps = append(steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {
+		acc := c.Load(0)
+		for k := 0; k < c.NumRecv(); k++ {
+			_, payload := c.Recv(k)
+			acc += payload
+		}
+		c.Store(0, acc)
+	}})
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("rotate-v%d", v),
+		V:      v,
+		Layout: dbsp.Layout{Data: 2, MaxMsgs: 2},
+		Init:   func(p int, data []dbsp.Word) { data[0] = dbsp.Word(7*p + 1) },
+		Steps:  steps,
+	}
+}
+
+// Descending returns the labels log v, log v -1, ..., 0.
+func Descending(v int) []int {
+	logv := dbsp.Log2(v)
+	out := make([]int, 0, logv+1)
+	for l := logv; l >= 0; l-- {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Fine returns count copies of the finest communicating label
+// (log v -1), a fine-superstep-heavy profile.
+func Fine(v, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = dbsp.Log2(v) - 1
+	}
+	return out
+}
+
+// ComputeOnly builds a program with work-only supersteps (no messages),
+// one per label, for exercising COMPUTE in isolation.
+func ComputeOnly(v int, workPerStep int64, labels ...int) *dbsp.Program {
+	steps := make([]dbsp.Superstep, 0, len(labels)+1)
+	for _, l := range labels {
+		steps = append(steps, dbsp.Superstep{Label: l, Run: func(c *dbsp.Ctx) {
+			c.Store(0, c.Load(0)+1)
+			c.Work(workPerStep)
+		}})
+	}
+	steps = append(steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {}})
+	return &dbsp.Program{
+		Name:   fmt.Sprintf("compute-v%d", v),
+		V:      v,
+		Layout: dbsp.Layout{Data: 1, MaxMsgs: 0},
+		Init:   func(p int, data []dbsp.Word) { data[0] = dbsp.Word(p) },
+		Steps:  steps,
+	}
+}

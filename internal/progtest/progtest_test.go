@@ -1,0 +1,83 @@
+package progtest
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dbsp"
+)
+
+func TestRotateRunsEverywhere(t *testing.T) {
+	for _, v := range []int{1, 2, 16} {
+		prog := Rotate(v, Descending(v)...)
+		if !prog.EndsGlobal() {
+			t.Fatalf("v=%d: rotate does not end globally", v)
+		}
+		if _, err := dbsp.Run(prog, cost.Log{}); err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+	}
+}
+
+func TestDescendingAndFine(t *testing.T) {
+	d := Descending(16)
+	if len(d) != 5 || d[0] != 4 || d[4] != 0 {
+		t.Errorf("Descending(16) = %v", d)
+	}
+	f := Fine(16, 3)
+	if len(f) != 3 || f[0] != 3 || f[2] != 3 {
+		t.Errorf("Fine(16,3) = %v", f)
+	}
+}
+
+func TestComputeOnlyCharges(t *testing.T) {
+	prog := ComputeOnly(8, 5, 2, 1)
+	res, err := dbsp.Run(prog, cost.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each real step: 2 memory ops + 5 work = 7; two steps.
+	if res.TotalTau() != 14 {
+		t.Errorf("TotalTau = %d, want 14", res.TotalTau())
+	}
+	for _, sc := range res.Steps {
+		if sc.H != 0 {
+			t.Error("ComputeOnly sent messages")
+		}
+	}
+}
+
+func TestRandomProgramBoundsFanIn(t *testing.T) {
+	// The generator promises inbox occupancy <= 2·MaxMsgs; run with the
+	// tight layout and rely on the engine's overflow detection.
+	for seed := uint64(1); seed <= 10; seed++ {
+		prog := RandomProgram(RandomSpec{V: 32, Steps: 8, MaxMsgs: 1, Seed: seed})
+		if _, err := dbsp.Run(prog, cost.Log{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomProgramLabelsInRange(t *testing.T) {
+	prog := RandomProgram(RandomSpec{V: 16, Steps: 20, MaxMsgs: 1, Seed: 3})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !prog.EndsGlobal() {
+		t.Error("random program does not end globally")
+	}
+}
+
+func TestClusterPermutationRespectsClusters(t *testing.T) {
+	pi := clusterPermutation(7, 16, 4)
+	seen := make([]bool, 16)
+	for p, d := range pi {
+		if p/4 != d/4 {
+			t.Fatalf("permutation crosses cluster: %d -> %d", p, d)
+		}
+		if seen[d] {
+			t.Fatalf("not a permutation: %d hit twice", d)
+		}
+		seen[d] = true
+	}
+}

@@ -1,0 +1,99 @@
+package progtest
+
+import (
+	"fmt"
+
+	"repro/internal/dbsp"
+	"repro/internal/workload"
+)
+
+// RandomSpec controls RandomProgram.
+type RandomSpec struct {
+	// V is the machine size (power of two).
+	V int
+	// Steps is the number of communicating supersteps before the
+	// closing global barrier.
+	Steps int
+	// MaxMsgs bounds the per-superstep sends of each processor (>= 1).
+	MaxMsgs int
+	// Seed drives every random choice deterministically.
+	Seed uint64
+}
+
+// RandomProgram generates a deterministic pseudo-random D-BSP program:
+// random superstep labels, and per superstep a random communication
+// pattern where each processor sends a random number of messages (up to
+// MaxMsgs) to random processors of its cluster, folding everything it
+// receives into a running checksum. Handlers derive all choices from
+// (seed, step, processor), never from execution order, so the program
+// is a pure function of its inputs — exactly what the simulators
+// require — while exercising arbitrary label structures and message
+// fan-in. Inbox capacity is MaxMsgs·V in the worst case, so the layout
+// reserves generous buffers; the generator caps fan-in by picking
+// destinations from a per-step random partial permutation plus at most
+// one extra, keeping every inbox within 2·MaxMsgs.
+func RandomProgram(spec RandomSpec) *dbsp.Program {
+	if spec.MaxMsgs < 1 {
+		spec.MaxMsgs = 1
+	}
+	logv := dbsp.Log2(spec.V)
+	gen := workload.New(spec.Seed)
+	prog := &dbsp.Program{
+		Name:   fmt.Sprintf("random-v%d-s%d-seed%d", spec.V, spec.Steps, spec.Seed),
+		V:      spec.V,
+		Layout: dbsp.Layout{Data: 2, MaxMsgs: 2 * spec.MaxMsgs},
+		Init: func(p int, data []dbsp.Word) {
+			data[0] = dbsp.Word(p*31 + 7)
+		},
+	}
+	for s := 0; s < spec.Steps; s++ {
+		label := gen.Intn(logv + 1)
+		// A per-step permutation bounds fan-in: every processor sends
+		// its first message along a cluster-respecting permutation
+		// (derived from a shared seed), plus optionally one message to
+		// a random cluster member. Each inbox then receives at most
+		// 1 (permutation) + the random extras targeting it; extras are
+		// assigned by a second permutation, so fan-in <= 2.
+		permSeed := spec.Seed*1000003 + uint64(s)*97 + 1
+		extraSeed := permSeed * 31
+		cs := dbsp.ClusterSize(spec.V, label)
+		perm1 := clusterPermutation(permSeed, spec.V, cs)
+		perm2 := clusterPermutation(extraSeed, spec.V, cs)
+		sendExtra := workload.Keys(extraSeed+5, spec.V, 2) // coin per proc
+		prog.Steps = append(prog.Steps, dbsp.Superstep{Label: label, Run: func(c *dbsp.Ctx) {
+			acc := c.Load(0)
+			for k := 0; k < c.NumRecv(); k++ {
+				src, payload := c.Recv(k)
+				acc = acc*31 + payload + dbsp.Word(src)
+			}
+			c.Store(0, acc)
+			c.Send(perm1[c.ID()], acc)
+			if sendExtra[c.ID()] == 1 {
+				c.Send(perm2[c.ID()], acc+1)
+			}
+		}})
+	}
+	prog.Steps = append(prog.Steps, dbsp.Superstep{Label: 0, Run: func(c *dbsp.Ctx) {
+		acc := c.Load(0)
+		for k := 0; k < c.NumRecv(); k++ {
+			src, payload := c.Recv(k)
+			acc = acc*17 + payload - dbsp.Word(src)
+		}
+		c.Store(1, acc)
+	}})
+	return prog
+}
+
+// clusterPermutation returns a permutation of [0, v) that maps every
+// size-cs aligned cluster onto itself (so sends along it are always
+// cluster-legal).
+func clusterPermutation(seed uint64, v, cs int) []int {
+	out := make([]int, v)
+	for lo := 0; lo < v; lo += cs {
+		pi := workload.Permutation(seed+uint64(lo), cs)
+		for i, x := range pi {
+			out[lo+i] = lo + x
+		}
+	}
+	return out
+}

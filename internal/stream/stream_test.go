@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bt"
+	"repro/internal/cost"
+)
+
+// build returns a machine with a region of n sequential words at off,
+// leaving [0, off) for hot pages and cold workspaces: hot pages for up
+// to four cascades at [0, 4·hot), cold regions after.
+func build(f cost.Func, n int64) (m *bt.Machine, g *Geometry, off int64) {
+	mach := bt.New(f, 8*n+8192)
+	geo := NewGeometry(f, n)
+	regionOff := 4*geo.HotWords() + 4*geo.ColdWords() + 64
+	for i := int64(0); i < n; i++ {
+		mach.Poke(regionOff+i, 1000+i)
+	}
+	return mach, geo, regionOff
+}
+
+// hotcold returns the hot and cold offsets for cascade slot k.
+func hotcold(g *Geometry, k int64) (hot, cold int64) {
+	return k * g.HotWords(), 4*g.HotWords() + k*g.ColdWords()
+}
+
+func TestReaderSequential(t *testing.T) {
+	m, g, off := build(cost.Poly{Alpha: 0.5}, 1000)
+	hot, cold := hotcold(g, 0)
+	r := NewReader(m, g, hot, cold, off, 1000)
+	for i := int64(0); i < 1000; i++ {
+		if !r.More() {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if got := r.Next(); got != 1000+i {
+			t.Fatalf("word %d = %d, want %d", i, got, 1000+i)
+		}
+	}
+	if r.More() {
+		t.Error("More() after end")
+	}
+	if r.Consumed() != 1000 {
+		t.Errorf("Consumed = %d", r.Consumed())
+	}
+}
+
+func TestReaderPeekIsStable(t *testing.T) {
+	m, g, off := build(cost.Log{}, 100)
+	hot, cold := hotcold(g, 0)
+	r := NewReader(m, g, hot, cold, off, 100)
+	if r.Peek() != r.Peek() || r.Peek() != 1000 {
+		t.Error("Peek not stable")
+	}
+	r.Next()
+	if r.Peek() != 1001 {
+		t.Error("Peek after Next wrong")
+	}
+}
+
+func TestReaderPanicsPastEnd(t *testing.T) {
+	m, g, off := build(cost.Log{}, 4)
+	hot, cold := hotcold(g, 0)
+	r := NewReader(m, g, hot, cold, off, 4)
+	for i := 0; i < 4; i++ {
+		r.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic past end")
+		}
+	}()
+	r.Next()
+}
+
+func TestReaderEmpty(t *testing.T) {
+	m, g, off := build(cost.Log{}, 10)
+	hot, cold := hotcold(g, 0)
+	r := NewReader(m, g, hot, cold, off, 0)
+	if r.More() {
+		t.Error("empty reader has More()")
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	m, g, off := build(cost.Poly{Alpha: 0.5}, 777)
+	dst := off + 2000
+	hot, cold := hotcold(g, 1)
+	w := NewWriter(m, g, hot, cold, dst, 777)
+	for i := int64(0); i < 777; i++ {
+		w.Put(7 * i)
+	}
+	w.Close()
+	if w.Written() != 777 {
+		t.Errorf("Written = %d", w.Written())
+	}
+	for i := int64(0); i < 777; i++ {
+		if got := m.Peek(dst + i); got != 7*i {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, 7*i)
+		}
+	}
+}
+
+func TestWriterCapacityPanic(t *testing.T) {
+	m, g, off := build(cost.Log{}, 10)
+	hot, cold := hotcold(g, 0)
+	w := NewWriter(m, g, hot, cold, off, 2)
+	w.Put(1)
+	w.Put(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic past capacity")
+		}
+	}()
+	w.Put(3)
+}
+
+// Read-modify-write over the same region: the writer trails the reader,
+// so in-place transformation is safe.
+func TestInPlaceTransform(t *testing.T) {
+	n := int64(5000)
+	m, g, off := build(cost.Poly{Alpha: 0.5}, n)
+	rh, rc := hotcold(g, 0)
+	wh, wc := hotcold(g, 1)
+	r := NewReader(m, g, rh, rc, off, n)
+	w := NewWriter(m, g, wh, wc, off, n)
+	for r.More() {
+		w.Put(r.Next() * 2)
+	}
+	w.Close()
+	for i := int64(0); i < n; i++ {
+		if got := m.Peek(off + i); got != 2*(1000+i) {
+			t.Fatalf("in-place transform wrong at %d: %d", i, got)
+		}
+	}
+}
+
+// Streaming must beat word-at-a-time access for steep f: cost O(n·f*(n))
+// vs Θ(n·f(n)).
+func TestStreamingCostShape(t *testing.T) {
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		var lo, hi = math.Inf(1), 0.0
+		for _, n := range []int64{1 << 10, 1 << 14, 1 << 17} {
+			m, g, off := build(f, n)
+			m.ResetStats()
+			hot, cold := hotcold(g, 0)
+			r := NewReader(m, g, hot, cold, off, n)
+			for r.More() {
+				r.Next()
+			}
+			perWord := m.Cost() / float64(n)
+			ratio := perWord / float64(cost.FStar(f, n))
+			if ratio < lo {
+				lo = ratio
+			}
+			if ratio > hi {
+				hi = ratio
+			}
+		}
+		if hi/lo > 4 {
+			t.Errorf("%s: streaming cost per word drifts beyond f*: lo=%g hi=%g", f.Name(), lo, hi)
+		}
+		// And it must be far below f(n) per word.
+		n := int64(1 << 17)
+		m, g, off := build(f, n)
+		m.ResetStats()
+		hot2, cold2 := hotcold(g, 0)
+		r := NewReader(m, g, hot2, cold2, off, n)
+		for r.More() {
+			r.Next()
+		}
+		if m.Cost() > float64(n)*f.Cost(n)/3 {
+			t.Errorf("%s: streaming (%g) not clearly below word-at-a-time (%g)",
+				f.Name(), m.Cost(), float64(n)*f.Cost(n))
+		}
+	}
+}
+
+func TestGeometryShape(t *testing.T) {
+	g := NewGeometry(cost.Poly{Alpha: 0.5}, 1<<20)
+	if g.Stages() < 2 {
+		t.Errorf("expected multi-stage cascade, got %d", g.Stages())
+	}
+	for j := 1; j < len(g.chunk); j++ {
+		if g.chunk[j] <= g.chunk[j-1] {
+			t.Errorf("chunks not increasing: %v", g.chunk)
+		}
+	}
+	if g.ColdWords() > 8*int64(cost.Poly{Alpha: 0.5}.Cost(1<<21)) {
+		t.Errorf("workspace too large: %d", g.ColdWords())
+	}
+	if g.HotWords() != minChunk {
+		t.Errorf("HotWords = %d, want %d", g.HotWords(), minChunk)
+	}
+}
+
+func TestReaderWriterProperty(t *testing.T) {
+	prop := func(vals []int32) bool {
+		n := int64(len(vals))
+		m := bt.New(cost.Log{}, 4*n+2048)
+		g := NewGeometry(cost.Log{}, n)
+		off := 2*g.HotWords() + 2*g.ColdWords() + 16
+		wh, wc := hotcold2(g, 0)
+		w := NewWriter(m, g, wh, wc, off, n)
+		for _, v := range vals {
+			w.Put(int64(v))
+		}
+		w.Close()
+		rh, rc := hotcold2(g, 1)
+		r := NewReader(m, g, rh, rc, off, n)
+		for _, v := range vals {
+			if r.Next() != int64(v) {
+				return false
+			}
+		}
+		return !r.More()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+
+// hotcold2 lays out two cascades: hots first, colds after.
+func hotcold2(g *Geometry, k int64) (hot, cold int64) {
+	return k * g.HotWords(), 2*g.HotWords() + k*g.ColdWords()
+}

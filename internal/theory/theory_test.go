@@ -1,0 +1,123 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestTouchBounds(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	if got := TouchHMM(f, 1 << 16); math.Abs(got-float64(int64(1)<<16)*256) > 1 {
+		t.Errorf("TouchHMM = %g", got)
+	}
+	// BT touching is asymptotically far below HMM touching.
+	if TouchBT(f, 1<<20) > TouchHMM(f, 1<<20)/100 {
+		t.Error("TouchBT not far below TouchHMM at 2^20")
+	}
+}
+
+func TestHMMSimulationFormula(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	lambda := []int{1, 0, 0} // one 0-superstep on v=4
+	got := HMMSimulation(f, 4, 2, 3, lambda)
+	want := 4 * (3 + 2*f.Cost(8))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("HMMSimulation = %g, want %g", got, want)
+	}
+}
+
+func TestBTSimulationIndependentOfF(t *testing.T) {
+	// The Theorem 12 formula has no f parameter at all; check it scales
+	// with v·log as expected.
+	lambda := make([]int, 11)
+	for i := range lambda {
+		lambda[i] = 1
+	}
+	a := BTSimulation(1024, 4, 0, lambda)
+	b := BTSimulation(2048, 4, 0, append(lambda, 1))
+	if b <= a || b > 4*a {
+		t.Errorf("BTSimulation scaling broken: %g -> %g", a, b)
+	}
+}
+
+func TestSelfSimulationHalves(t *testing.T) {
+	g := cost.Log{}
+	lambda := []int{1, 1, 1, 1}
+	full := SelfSimulation(g, 8, 8, 2, 1, lambda)
+	half := SelfSimulation(g, 8, 4, 2, 1, lambda)
+	if math.Abs(half-2*full) > 1e-9 {
+		t.Errorf("halving v' must double the bound: %g vs %g", full, half)
+	}
+}
+
+func TestMatMulCases(t *testing.T) {
+	n := 1 << 12
+	// α > 1/2: n^α.
+	if got, want := MatMulDBSP(cost.Poly{Alpha: 0.75}, n), math.Pow(float64(n), 0.75); math.Abs(got-want) > 1e-6 {
+		t.Errorf("MatMul α=0.75: %g want %g", got, want)
+	}
+	// α = 1/2: √n·log n.
+	if got := MatMulDBSP(cost.Poly{Alpha: 0.5}, n); got <= math.Sqrt(float64(n)) {
+		t.Error("MatMul α=0.5 should exceed √n by the log factor")
+	}
+	// α < 1/2 and log: √n.
+	if got, want := MatMulDBSP(cost.Poly{Alpha: 0.25}, n), math.Sqrt(float64(n)); got != want {
+		t.Errorf("MatMul α=0.25: %g want %g", got, want)
+	}
+	if got, want := MatMulDBSP(cost.Log{}, n), math.Sqrt(float64(n)); got != want {
+		t.Errorf("MatMul log: %g want %g", got, want)
+	}
+	if MatMulHMM(cost.Poly{Alpha: 0.75}, n) != float64(n)*MatMulDBSP(cost.Poly{Alpha: 0.75}, n) {
+		t.Error("MatMulHMM != n·MatMulDBSP")
+	}
+}
+
+func TestDFTAndSortCases(t *testing.T) {
+	n := 1 << 10
+	if got, want := DFTDBSP(cost.Poly{Alpha: 0.5}, n), 32.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("DFT x^0.5: %g want %g", got, want)
+	}
+	if DFTDBSP(cost.Log{}, 1<<20) >= DFTDBSP(cost.Poly{Alpha: 0.5}, 1<<20)/4 {
+		t.Error("DFT on log x should be far below n^α at large n")
+	}
+	if SortDBSP(cost.Poly{Alpha: 0.5}, n) != 32.0 {
+		t.Error("Sort x^0.5 != n^0.5")
+	}
+	if SortHMM(cost.Poly{Alpha: 0.5}, n) != float64(n)*32 {
+		t.Error("SortHMM != n^{1.5}")
+	}
+}
+
+func TestSection53Ranking(t *testing.T) {
+	// On BT the recursive DFT schedule beats the butterfly:
+	// n log n loglog n < n log² n.
+	n := 1 << 16
+	if DFTRecursiveBT(n) >= DFTButterflyBT(n) {
+		t.Error("recursive schedule must beat butterfly on BT")
+	}
+	if MatMulBT(1<<10) != math.Pow(1<<10, 1.5) {
+		t.Error("MatMulBT != n^{3/2}")
+	}
+}
+
+func TestComputeAndSortSubstrates(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	if ComputeOverhead(f, 4, 1024) <= 4*1024 {
+		t.Error("ComputeOverhead should exceed µn")
+	}
+	if AMSort(f, 1<<12) <= float64(int64(1)<<12) {
+		t.Error("AMSort should exceed N")
+	}
+}
+
+func TestDBSPTimeFormula(t *testing.T) {
+	g := cost.Const{C: 2}
+	lambda := []int{2, 0} // two 0-supersteps on v=2
+	got := DBSPTime(g, 2, 3, 1, 5, lambda)
+	want := 2 * (5 + 1*2.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DBSPTime = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,77 @@
+// Package workload provides deterministic input generators for the
+// experiments: keys, vectors, matrices and permutations derived from a
+// seed via SplitMix64, so every run of the benchmark harness sees the
+// same data without depending on math/rand ordering guarantees.
+package workload
+
+import "fmt"
+
+// Gen is a deterministic value generator.
+type Gen struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Gen { return &Gen{state: seed} }
+
+// next advances the SplitMix64 state.
+func (g *Gen) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (g *Gen) Int63() int64 { return int64(g.next() >> 1) }
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (g *Gen) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: Intn(%d)", n))
+	}
+	return int(g.next() % uint64(n))
+}
+
+// Keys returns n pseudo-random keys in [0, bound).
+func Keys(seed uint64, n int, bound int64) []int64 {
+	g := New(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Int63() % bound
+	}
+	return out
+}
+
+// KeyFunc returns a function form of Keys for program Init hooks.
+func KeyFunc(seed uint64, n int, bound int64) func(p int) int64 {
+	keys := Keys(seed, n, bound)
+	return func(p int) int64 { return keys[p] }
+}
+
+// Permutation returns a pseudo-random permutation of [0, n)
+// (Fisher-Yates under the deterministic generator).
+func Permutation(seed uint64, n int) []int {
+	g := New(seed)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Matrix returns a side×side matrix of small integers in [-bound, bound]
+// as a function of (row, col), suitable for exact product verification.
+func Matrix(seed uint64, side int, bound int64) func(r, c int) int64 {
+	g := New(seed)
+	vals := make([]int64, side*side)
+	for i := range vals {
+		vals[i] = g.Int63()%(2*bound+1) - bound
+	}
+	return func(r, c int) int64 { return vals[r*side+c] }
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Keys(42, 100, 1000)
+	b := Keys(42, 100, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Keys not deterministic")
+		}
+	}
+	if Keys(42, 10, 1000)[0] == Keys(43, 10, 1000)[0] &&
+		Keys(42, 10, 1000)[1] == Keys(43, 10, 1000)[1] {
+		t.Error("different seeds produced identical prefixes")
+	}
+}
+
+func TestKeysInBounds(t *testing.T) {
+	for _, k := range Keys(7, 1000, 50) {
+		if k < 0 || k >= 50 {
+			t.Fatalf("key %d out of [0,50)", k)
+		}
+	}
+}
+
+func TestKeyFuncMatchesKeys(t *testing.T) {
+	keys := Keys(9, 32, 100)
+	fn := KeyFunc(9, 32, 100)
+	for p, k := range keys {
+		if fn(p) != k {
+			t.Fatalf("KeyFunc(%d) = %d, want %d", p, fn(p), k)
+		}
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	prop := func(seed uint16, rawN uint8) bool {
+		n := int(rawN%64) + 1
+		pi := Permutation(uint64(seed), n)
+		seen := make([]bool, n)
+		for _, x := range pi {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationNotIdentity(t *testing.T) {
+	pi := Permutation(5, 64)
+	same := 0
+	for i, x := range pi {
+		if i == x {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Errorf("permutation suspiciously close to identity: %d fixed points", same)
+	}
+}
+
+func TestMatrixBounds(t *testing.T) {
+	m := Matrix(3, 8, 10)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if v := m(r, c); v < -10 || v > 10 {
+				t.Fatalf("matrix value %d out of [-10,10]", v)
+			}
+		}
+	}
+	if m(0, 0) != Matrix(3, 8, 10)(0, 0) {
+		t.Error("Matrix not deterministic")
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
