@@ -2,9 +2,11 @@ package repro
 
 // One benchmark per experiment of DESIGN.md's index (E01..E16): each
 // runs the mechanical simulation behind the corresponding EXPERIMENTS.md
-// table at a representative size and reports the charged model cost as
-// a custom metric alongside wall-clock time. `go test -bench=. -benchmem`
-// regenerates the whole set; cmd/experiments prints the full sweeps.
+// table at a representative size and reports the charged model cost —
+// plus the simulator's own counters (accesses, rounds, block transfers)
+// — as custom metrics alongside wall-clock time. `go test -bench=.
+// -benchmem` regenerates the whole set; cmd/experiments prints the full
+// sweeps.
 
 import (
 	"testing"
@@ -29,176 +31,201 @@ func reportCost(b *testing.B, c float64) {
 	b.ReportMetric(c, "model-cost")
 }
 
+// reportHMM attaches the HMM simulator's counters for the last
+// iteration alongside the model cost, so `go test -bench` output tracks
+// the same quantities the internal/obs registry reports.
+func reportHMM(b *testing.B, res *hmmsim.Result) {
+	reportCost(b, res.HostCost)
+	b.ReportMetric(float64(res.Stats.Accesses()), "accesses/op")
+	b.ReportMetric(float64(res.Rounds), "rounds/op")
+}
+
+// reportBT attaches the BT simulator's counters.
+func reportBT(b *testing.B, res *btsim.Result) {
+	reportCost(b, res.HostCost)
+	b.ReportMetric(float64(res.Stats.Accesses()), "accesses/op")
+	b.ReportMetric(float64(res.Blocks.Copies), "block-transfers/op")
+	b.ReportMetric(float64(res.Blocks.Words), "block-words/op")
+}
+
+// reportSelf attaches the self-simulation's partition counters.
+func reportSelf(b *testing.B, res *selfsim.Result) {
+	reportCost(b, res.HostCost)
+	b.ReportMetric(float64(res.GlobalSteps), "global-steps/op")
+	b.ReportMetric(float64(res.LocalRuns), "local-runs/op")
+}
+
 func BenchmarkE01TouchHMM(b *testing.B) {
 	const n = 1 << 16
-	var c float64
+	var m *hmm.Machine
 	for i := 0; i < b.N; i++ {
-		m := hmm.New(alphaHalf, n)
+		m = hmm.New(alphaHalf, n)
 		m.Touch(n)
-		c = m.Cost()
 	}
-	reportCost(b, c)
+	reportCost(b, m.Cost())
+	b.ReportMetric(float64(m.Stats().Accesses()), "accesses/op")
 }
 
 func BenchmarkE02TouchBT(b *testing.B) {
 	const n = 1 << 16
-	var c float64
+	var m *bt.Machine
 	for i := 0; i < b.N; i++ {
-		m := bt.New(alphaHalf, n)
+		m = bt.New(alphaHalf, n)
 		m.Touch(n)
-		c = m.Cost()
 	}
-	reportCost(b, c)
+	reportCost(b, m.Cost())
+	b.ReportMetric(float64(m.BlockStats().Copies), "block-transfers/op")
 }
 
 func BenchmarkE03HMMSlowdown(b *testing.B) {
 	prog := progtest.Rotate(256, progtest.Descending(256)...)
-	var c float64
+	var last *hmmsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportHMM(b, last)
 }
 
 func BenchmarkE04NaiveVsScheduled(b *testing.B) {
 	prog := progtest.Rotate(256, progtest.Fine(256, 12)...)
-	var c float64
+	var last *hmmsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := hmmsim.SimulateNaive(prog, alphaHalf)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportHMM(b, last)
 }
 
 func BenchmarkE05MatMul(b *testing.B) {
 	prog := algos.MatMul(256, workload.Matrix(11, 16, 4), workload.Matrix(12, 16, 4))
-	var c float64
+	var last *hmmsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportHMM(b, last)
 }
 
 func BenchmarkE06DFT(b *testing.B) {
 	prog := algos.DFTButterfly(256, workload.KeyFunc(21, 256, 1<<20))
-	var c float64
+	var last *hmmsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportHMM(b, last)
 }
 
 func BenchmarkE07Sort(b *testing.B) {
 	prog := algos.Sort(256, workload.KeyFunc(31, 256, 1024))
-	var c float64
+	var last *hmmsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportHMM(b, last)
 }
 
 func BenchmarkE08Brent(b *testing.B) {
 	prog := progtest.Rotate(64, progtest.Descending(64)...)
-	var c float64
+	var last *selfsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := selfsim.Simulate(prog, alphaHalf, 4, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportSelf(b, last)
 }
 
 func BenchmarkE09BTSim(b *testing.B) {
 	prog := progtest.Rotate(256, progtest.Descending(256)...)
-	var c float64
+	var last *btsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := btsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportBT(b, last)
 }
 
 func BenchmarkE10BTMatMul(b *testing.B) {
 	prog := algos.MatMul(256, workload.Matrix(13, 16, 4), workload.Matrix(14, 16, 4))
-	var c float64
+	var last *btsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := btsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportBT(b, last)
 }
 
 func BenchmarkE11BTDFTChoice(b *testing.B) {
 	prog := algos.DFTRecursive(256, workload.KeyFunc(41, 256, 1<<20))
-	var c float64
+	var last *btsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := btsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportBT(b, last)
 }
 
 func BenchmarkE14SmoothingAblation(b *testing.B) {
 	logv := dbsp.Log2(256)
 	prog := progtest.Rotate(256, logv-1, 0, logv-1, 0, logv-1, 0)
-	var c float64
+	var last *hmmsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := hmmsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportHMM(b, last)
 }
 
 func BenchmarkE15Compute(b *testing.B) {
 	prog := progtest.ComputeOnly(256, 4, 0, 0, 0, 0, 0, 0)
-	var c float64
+	var last *btsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := btsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportBT(b, last)
 }
 
 func BenchmarkE16AMSort(b *testing.B) {
 	const count, rec = 1 << 13, 2
 	keys := workload.Keys(51, count, 10*count)
 	var c float64
+	var comps int64
 	for i := 0; i < b.N; i++ {
 		p := amsort.NewPlan(alphaHalf, rec, count)
 		hot := int64(0)
@@ -210,10 +237,11 @@ func BenchmarkE16AMSort(b *testing.B) {
 			m.Poke(data+j*rec, keys[j])
 			m.Poke(data+j*rec+1, j)
 		}
-		amsort.Sort(m, p, data, scratch, hot, cold)
+		comps = amsort.Sort(m, p, data, scratch, hot, cold)
 		c = m.Cost()
 	}
 	reportCost(b, c)
+	b.ReportMetric(float64(comps), "comparisons/op")
 }
 
 // BenchmarkNativeEngine measures the goroutine-parallel superstep
@@ -229,13 +257,13 @@ func BenchmarkNativeEngine(b *testing.B) {
 
 func BenchmarkE17RouteDelivery(b *testing.B) {
 	prog := algos.DFTRecursive(256, workload.KeyFunc(62, 256, 1<<20))
-	var c float64
+	var last *btsim.Result
 	for i := 0; i < b.N; i++ {
 		res, err := btsim.Simulate(prog, alphaHalf, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c = res.HostCost
+		last = res
 	}
-	reportCost(b, c)
+	reportBT(b, last)
 }

@@ -5,22 +5,34 @@
 //
 // Usage:
 //
-//	dbsprun -prog sort -v 256 -g x^0.5 [-sim]
+//	dbsprun -prog sort -v 256 -g x^0.5 [-sim] [-metrics] [-trace-out f.jsonl] [-profile p]
 //
 // Programs: rotate, bcast, prefix, matmul, fft, fftrec, sort, permute,
 // conv, reduce, stencil.
+//
+// With -metrics the run is instrumented through internal/obs: the
+// native engine and all three simulators (HMM, BT, and the Theorem 10
+// self-simulation with v′ host processors) publish their accounting to
+// one registry, and a per-phase/per-level cost report is printed. With
+// -trace-out the structured simulation events are written as JSONL.
+// With -profile PREFIX, CPU and heap profiles are written to
+// PREFIX.cpu.pprof and PREFIX.heap.pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/algos"
 	"repro/internal/core/btsim"
 	"repro/internal/core/hmmsim"
+	"repro/internal/core/selfsim"
 	"repro/internal/cost"
 	"repro/internal/dbsp"
+	"repro/internal/obs"
 	"repro/internal/progtest"
 	"repro/internal/theory"
 	"repro/internal/workload"
@@ -59,6 +71,21 @@ func buildProgram(name string, v int) (*dbsp.Program, error) {
 	}
 }
 
+// usageErr reports a flag-validation failure: the message, then the
+// flag usage, then exit status 2. Every bad-invocation path funnels
+// through here; runtime failures use fatal (exit 1) instead.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(flag.CommandLine.Output(), "dbsprun: %s\n\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// fatal reports a runtime failure and exits with status 1.
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dbsprun: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
 func main() {
 	progName := flag.String("prog", "rotate", "program: rotate|bcast|prefix|matmul|fft|fftrec|sort|permute|conv|reduce|stencil")
 	v := flag.Int("v", 64, "processors (power of two; matmul needs a power of four)")
@@ -66,29 +93,94 @@ func main() {
 	sim := flag.Bool("sim", false, "also simulate on HMM and BT hosts with f = g")
 	verbose := flag.Bool("steps", false, "print every superstep (default: summary by label)")
 	trace := flag.Bool("trace", false, "record every message and print the locality histogram")
+	metrics := flag.Bool("metrics", false, "instrument the run and all three simulators; print the cost report")
+	vPrime := flag.Int("vprime", 0, "host processors for the self-simulation under -metrics (default v/4, min 1)")
+	traceOut := flag.String("trace-out", "", "write structured simulation events to this JSONL file")
+	profile := flag.String("profile", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments: %v", flag.Args())
+	}
+	if *v < 1 || *v&(*v-1) != 0 {
+		usageErr("-v %d is not a power of two", *v)
+	}
 	g, err := cost.Parse(*gSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dbsprun:", err)
-		os.Exit(2)
+		usageErr("%v", err)
 	}
 	prog, err := buildProgram(*progName, *v)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dbsprun:", err)
-		os.Exit(2)
+		usageErr("%v", err)
+	}
+	if *vPrime != 0 && !*metrics {
+		usageErr("-vprime requires -metrics")
+	}
+	if *vPrime == 0 {
+		*vPrime = max(*v/4, 1)
+	}
+	if *vPrime < 1 || *vPrime&(*vPrime-1) != 0 || *vPrime > *v {
+		usageErr("-vprime %d is not a power of two in [1, %d]", *vPrime, *v)
+	}
+
+	if *profile != "" {
+		f, err := os.Create(*profile + ".cpu.pprof")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			h, err := os.Create(*profile + ".heap.pprof")
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer h.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(h); err != nil {
+				fatal("heap profile: %v", err)
+			}
+		}()
+	}
+
+	// Observability: one registry + optional JSONL event sink, shared by
+	// the native run and every simulator.
+	var o *obs.Observer
+	var reg *obs.Registry
+	if *metrics || *traceOut != "" {
+		reg = obs.NewRegistry()
+		var sink obs.Sink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal("%v", err)
+			}
+			js := obs.NewJSONLSink(f)
+			defer func() {
+				if err := js.Close(); err != nil {
+					fatal("trace-out: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					fatal("trace-out: %v", err)
+				}
+			}()
+			sink = js
+		}
+		o = obs.New(reg, sink)
 	}
 
 	var res *dbsp.Result
 	var tr *dbsp.Trace
-	if *trace {
-		res, tr, err = dbsp.RunTraced(prog, g)
+	if *trace || o != nil {
+		res, tr, err = dbsp.RunObserved(prog, g, o)
 	} else {
 		res, err = dbsp.Run(prog, g)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dbsprun:", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 
 	fmt.Printf("program %s on D-BSP(v=%d, µ=%d, g=%s): %d supersteps\n\n",
@@ -125,21 +217,19 @@ func main() {
 	fmt.Printf("\nD-BSP time T = %.2f (computation %d, communication %.2f)\n",
 		res.Cost, res.TotalTau(), res.CommCost())
 
-	if tr != nil {
+	if *trace && tr != nil {
 		fmt.Printf("\n%d messages routed; label slack %.2f levels\n%s",
 			tr.Messages(), tr.Slack(), tr.FormatHistogram())
 	}
 
-	if *sim {
-		h, err := hmmsim.Simulate(prog, g, nil)
+	if *sim || *metrics {
+		h, err := hmmsim.Simulate(prog, g, &hmmsim.Options{Obs: o})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbsprun: hmm:", err)
-			os.Exit(1)
+			fatal("hmm: %v", err)
 		}
-		b, err := btsim.Simulate(prog, g, nil)
+		b, err := btsim.Simulate(prog, g, &btsim.Options{Obs: o})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbsprun: bt:", err)
-			os.Exit(1)
+			fatal("bt: %v", err)
 		}
 		lam := prog.Lambda(true)
 		predH := theory.HMMSimulation(g, prog.V, prog.Mu(), float64(res.TotalTau()), lam)
@@ -148,5 +238,14 @@ func main() {
 			h.HostCost, h.HostCost/res.Cost, predH, h.HostCost/predH)
 		fmt.Printf("BT  simulation (f=g): cost %.3g  slowdown %.1f  Thm12 bound %.3g (ratio %.2f), %d block transfers\n",
 			b.HostCost, b.HostCost/res.Cost, predB, b.HostCost/predB, b.Blocks.Copies)
+	}
+	if *metrics {
+		sf, err := selfsim.Simulate(prog, g, *vPrime, &selfsim.Options{Obs: o})
+		if err != nil {
+			fatal("self: %v", err)
+		}
+		fmt.Printf("self-simulation (v'=%d): cost %.3g  slowdown %.1f  Thm10 target v/v' = %d\n",
+			*vPrime, sf.HostCost, sf.HostCost/res.Cost, prog.V / *vPrime)
+		fmt.Printf("\n%s", obs.Report(reg))
 	}
 }

@@ -5,27 +5,81 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only E05[,E09,...]]
+//	experiments [-quick] [-only E05[,E09,...]] [-metrics] [-trace-out F] [-profile P]
 //
 // -quick trims the parameter sweeps for a fast smoke run; -only selects
-// specific experiments by id.
+// specific experiments by id. -metrics instruments every simulation the
+// tables run and appends the aggregate internal/obs report; -trace-out
+// streams the structured events to a JSONL file; -profile writes
+// P.cpu.pprof and P.heap.pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "trim parameter sweeps for a fast smoke run")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E05,E09)")
 	asJSON := flag.Bool("json", false, "emit the tables as a JSON array")
+	metrics := flag.Bool("metrics", false, "instrument the simulations and append the aggregate metrics report")
+	traceOut := flag.String("trace-out", "", "write structured simulation events to this JSONL file")
+	profile := flag.String("profile", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
+
+	if *profile != "" {
+		cpu, err := os.Create(*profile + ".cpu.pprof")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fatal("cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cpu.Close()
+			heap, err := os.Create(*profile + ".heap.pprof")
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer heap.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				fatal("heap profile: %v", err)
+			}
+		}()
+	}
+
+	var reg *obs.Registry
+	if *metrics || *traceOut != "" {
+		var sink obs.Sink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			js := obs.NewJSONLSink(f)
+			defer func() {
+				if err := js.Close(); err != nil {
+					fatal("%v", err)
+				}
+			}()
+			sink = js
+		}
+		reg = obs.NewRegistry()
+		experiments.SetObserver(obs.New(reg, sink))
+		defer experiments.SetObserver(nil)
+	}
 
 	var tables []*experiments.Table
 	start := time.Now()
@@ -48,8 +102,7 @@ func main() {
 		for i, t := range tables {
 			raw, err := t.JSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fatal("%v", err)
 			}
 			os.Stdout.Write(raw)
 			if i+1 < len(tables) {
@@ -64,5 +117,15 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.Render())
 	}
+	if *metrics {
+		fmt.Println("# Aggregate simulation metrics (all experiment runs)")
+		fmt.Println()
+		fmt.Println(obs.Report(reg))
+	}
 	fmt.Printf("Total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

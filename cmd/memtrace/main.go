@@ -7,6 +7,10 @@
 //	memtrace -fig 4    the BT memory layout during UNPACK(0): how the
 //	                   empty buffer blocks get interspersed with the
 //	                   contexts (and PACK reversing it)
+//
+// Each snapshot flows through the internal/obs trace layer as a
+// structured event; the terminal rendering is one sink, and -trace-out
+// adds a JSONL sink so the raw snapshots can be post-processed.
 package main
 
 import (
@@ -18,17 +22,49 @@ import (
 	"repro/internal/core/hmmsim"
 	"repro/internal/cost"
 	"repro/internal/dbsp"
+	"repro/internal/obs"
 )
 
 func main() {
 	fig := flag.Int("fig", 2, "figure to regenerate: 2 or 4")
 	v := flag.Int("v", 8, "number of processors (power of two)")
+	traceOut := flag.String("trace-out", "", "also write the snapshot events to this JSONL file")
 	flag.Parse()
+
+	// The terminal rendering is itself a trace sink: every snapshot is
+	// one event, formatted per kind.
+	render := obs.SinkFunc(func(e obs.Event) {
+		switch e.Kind {
+		case "fig2.round":
+			fmt.Printf("%5d %5d %6d  %s\n", e.Round, e.Step, e.Label, e.Detail)
+		case "fig4.layout":
+			fmt.Printf("%-12s %s\n", e.Phase, e.Detail)
+		}
+	})
+	sink := obs.Sink(render)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		js := obs.NewJSONLSink(f)
+		defer func() {
+			if err := js.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "memtrace:", err)
+				os.Exit(1)
+			}
+		}()
+		sink = obs.MultiSink(render, js)
+	}
+	o := obs.New(nil, sink)
+
 	switch *fig {
 	case 2:
-		figure2(*v)
+		figure2(*v, o)
 	case 4:
-		figure4(*v)
+		figure4(*v, o)
 	default:
 		fmt.Fprintln(os.Stderr, "memtrace: -fig must be 2 or 4")
 		os.Exit(2)
@@ -39,7 +75,7 @@ func main() {
 // program whose single coarsening (log v -> 0) forces a full cycle over
 // all v sibling clusters — the situation of the paper's Figure 2
 // (b = 8 siblings when v = 8).
-func figure2(v int) {
+func figure2(v int, o *obs.Observer) {
 	logv := dbsp.Log2(v)
 	prog := &dbsp.Program{
 		Name:   "figure2",
@@ -63,7 +99,9 @@ func figure2(v int) {
 			for i, p := range procOf {
 				cells[i] = fmt.Sprintf("P%d", p)
 			}
-			fmt.Printf("%5d %5d %6d  %s\n", round, step, label, strings.Join(cells, " "))
+			o.Emit(obs.Event{Sim: "memtrace", Kind: "fig2.round",
+				Round: round, Step: step, Label: label,
+				Detail: strings.Join(cells, " ")})
 		},
 	}
 	if _, err := hmmsim.Simulate(prog, cost.Log{}, opts); err != nil {
@@ -75,7 +113,7 @@ func figure2(v int) {
 // figure4 renders the UNPACK(0) recursion of Section 5.1 at block
 // granularity: contexts P0..P{v-1} packed at the top, v empty blocks
 // after, then one copy per level interspersing the buffers.
-func figure4(v int) {
+func figure4(v int, o *obs.Observer) {
 	blocks := make([]string, 2*v)
 	for i := range blocks {
 		if i < v {
@@ -84,13 +122,14 @@ func figure4(v int) {
 			blocks[i] = "__"
 		}
 	}
-	render := func(tag string) {
-		fmt.Printf("%-12s %s\n", tag, strings.Join(blocks, " "))
+	snapshot := func(tag string) {
+		o.Emit(obs.Event{Sim: "memtrace", Kind: "fig4.layout",
+			Phase: tag, N: int64(v), Detail: strings.Join(blocks, " ")})
 	}
 	fmt.Printf("Figure 4 — BT memory layout during UNPACK(0), v=%d\n", v)
 	fmt.Printf("(each level copies the lower half of the packed prefix one half-width down;\n")
 	fmt.Printf("vacated blocks become the interspersed buffers)\n\n")
-	render("initial")
+	snapshot("initial")
 	logv := dbsp.Log2(v)
 	for lvl := 0; lvl < logv; lvl++ {
 		n := v >> lvl
@@ -99,7 +138,7 @@ func figure4(v int) {
 		for i := n / 2; i < n; i++ {
 			blocks[i] = "__"
 		}
-		render(fmt.Sprintf("UNPACK(%d)", lvl))
+		snapshot(fmt.Sprintf("UNPACK(%d)", lvl))
 	}
 	fmt.Println()
 	fmt.Println("PACK(0) reverses the copies bottom-up, regathering the contexts at the top.")

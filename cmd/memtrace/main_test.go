@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // Golden checks for the regenerated figures (experiments E12/E13): the
@@ -31,6 +35,45 @@ func TestFigure4Golden(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("figure 4 missing line %q\ngot:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure4JSONLGolden checks the structured event stream behind the
+// figure: -trace-out must carry every layout snapshot, round-trippable
+// through obs.ParseJSONL, with the same block strings the terminal
+// rendering shows.
+func TestFigure4JSONLGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := filepath.Join(t.TempDir(), "fig4.jsonl")
+	runSelf(t, "-fig", "4", "-v", "8", "-trace-out", out)
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ParseJSONL(f)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []struct{ phase, detail string }{
+		{"initial", "P0 P1 P2 P3 P4 P5 P6 P7 __ __ __ __ __ __ __ __"},
+		{"UNPACK(0)", "P0 P1 P2 P3 __ __ __ __ P4 P5 P6 P7 __ __ __ __"},
+		{"UNPACK(1)", "P0 P1 __ __ P2 P3 __ __ P4 P5 P6 P7 __ __ __ __"},
+		{"UNPACK(2)", "P0 __ P1 __ P2 P3 __ __ P4 P5 P6 P7 __ __ __ __"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d:\n%+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		e := events[i]
+		if e.Sim != "memtrace" || e.Kind != "fig4.layout" {
+			t.Errorf("event %d: sim/kind = %s/%s", i, e.Sim, e.Kind)
+		}
+		if e.Phase != w.phase || e.Detail != w.detail {
+			t.Errorf("event %d = %s %q, want %s %q", i, e.Phase, e.Detail, w.phase, w.detail)
 		}
 	}
 }

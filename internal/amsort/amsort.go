@@ -116,10 +116,12 @@ func (p *Plan) bufAddr(j, b int, hot, cold int64) int64 {
 // using [scratch, scratch+count·rec) as ping-pong space, the hot region
 // [hot, hot+HotWords()) — which must sit at O(1) absolute addresses —
 // and the cold region [cold, cold+ColdWords()). All regions must be
-// disjoint. The sorted records end at data.
-func Sort(m *bt.Machine, p *Plan, data, scratch, hot, cold int64) {
+// disjoint. The sorted records end at data. The return value is the
+// number of tag comparisons performed — the N·log N work term of the
+// cost analysis, which callers surface as a metric.
+func Sort(m *bt.Machine, p *Plan, data, scratch, hot, cold int64) int64 {
 	if p.count <= 1 {
-		return
+		return 0
 	}
 	s := &sorter{m: m, p: p, hot: hot, cold: cold}
 	s.sortBaseRuns(data)
@@ -140,6 +142,7 @@ func Sort(m *bt.Machine, p *Plan, data, scratch, hot, cold int64) {
 	if src != data {
 		s.copyRecords(src, data, p.count)
 	}
+	return s.comps
 }
 
 // IsSorted reports whether the count records at data are ordered by
@@ -155,10 +158,11 @@ func IsSorted(m *bt.Machine, data, count, rec int64) bool {
 }
 
 type sorter struct {
-	m    *bt.Machine
-	p    *Plan
-	hot  int64
-	cold int64
+	m     *bt.Machine
+	p     *Plan
+	hot   int64
+	cold  int64
+	comps int64 // tag comparisons performed
 }
 
 func min64(a, b int64) int64 {
@@ -192,7 +196,11 @@ func (s *sorter) sortBaseRuns(data int64) {
 			s.m.MoveRange(buf+i*rec, tmp, rec)
 			key := s.m.Read(tmp)
 			j := i
-			for j > 0 && s.m.Read(buf+(j-1)*rec) > key {
+			for j > 0 {
+				s.comps++
+				if s.m.Read(buf+(j-1)*rec) <= key {
+					break
+				}
 				s.m.MoveRange(buf+(j-1)*rec, buf+j*rec, rec)
 				j--
 			}
@@ -295,6 +303,7 @@ func (s *sorter) merge(aOff, aCnt, bOff, bCnt, dst int64) {
 		case !haveA:
 			st, src = b, bBuf
 		default:
+			s.comps++
 			if s.m.Read(aBuf+a.pos[0]*p.rec) <= s.m.Read(bBuf+b.pos[0]*p.rec) {
 				st, src = a, aBuf
 			} else {

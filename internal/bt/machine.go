@@ -39,6 +39,11 @@ type BlockStats struct {
 type Machine struct {
 	*hmm.Machine
 	blocks BlockStats
+	// TraceBlock, when non-nil, is invoked for every BlockCopy with the
+	// source end, destination end, and length (the model's (x, y, b)).
+	// Observability uses it for block-size histograms; the word-level
+	// Trace hook of the embedded HMM never sees pipelined transfers.
+	TraceBlock func(x, y, b int64)
 }
 
 // New returns an f(x)-BT machine with size words of zeroed memory.
@@ -83,6 +88,9 @@ func (m *Machine) BlockCopy(x, y, b int64) {
 	m.blocks.Copies++
 	m.blocks.Words += b
 	m.blocks.Cost += c + float64(b)
+	if m.TraceBlock != nil {
+		m.TraceBlock(x, y, b)
+	}
 	// Move the words without per-word charges: the transfer is
 	// pipelined and already paid for above.
 	src := m.Snapshot(srcLo, b)

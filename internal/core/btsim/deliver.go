@@ -120,7 +120,7 @@ func (st *state) deliver(n int64, lo int) {
 	// needed, pack a coarser cluster and shift the siblings down.
 	gap := p.end - n*mu // words of free space required below the cluster
 	ik := -1
-	st.phase("d.juggle", func() {
+	st.phase("deliver.juggle", func() {
 		if gap > n*mu {
 			label := levelOfSize(st.v, n)
 			ik = coarserLevel(st, label, gap)
@@ -139,25 +139,26 @@ func (st *state) deliver(n int64, lo int) {
 	// Phase 1: extraction. Stream the contexts, zero the message
 	// counts, and append one record per outbox entry.
 	var msgs int64
-	st.phase("d.extract", func() { msgs = st.extract(&p, n, lo) })
+	st.phase("deliver.extract", func() { msgs = st.extract(&p, n, lo) })
 
 	// Phase 2: sort the records by tag.
-	st.phase("d.sort", func() {
+	st.phase("deliver.sort", func() {
 		if msgs > 1 {
 			sp := amsort.NewPlan(st.f, recWords, msgs)
-			amsort.Sort(st.m, sp, p.rec, p.scratch, p.sortHot(), p.sortCold())
+			comps := amsort.Sort(st.m, sp, p.rec, p.scratch, p.sortHot(), p.sortCold())
+			st.sortCompsC.Add(comps)
 		}
 	})
 
 	// Phase 3: merge the sorted records into the destination inboxes.
-	st.phase("d.merge", func() {
+	st.phase("deliver.merge", func() {
 		if msgs > 0 {
 			st.mergeInboxes(&p, n, lo, msgs)
 		}
 	})
 
 	// Move the cluster back to the top and undo the space juggling.
-	st.phase("d.juggle", func() {
+	st.phase("deliver.juggle", func() {
 		st.shiftLeft(p.ctx, n*mu, p.ctx)
 		if ik >= 0 {
 			label := levelOfSize(st.v, n)

@@ -1,0 +1,120 @@
+package btsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/progtest"
+)
+
+// btPhases are the top-level cost phases that partition a run (the
+// deliver.* refinements overlap "deliver" and are excluded).
+var btPhases = []string{"pack", "compute", "deliver", "swap", "unpack"}
+
+// TestObservedCostAttribution is the acceptance check for the BT
+// simulator: the top-level phase costs partition the run, bt.cost.total
+// is EXACTLY the returned HostCost, and the machine-level counters
+// mirror the Result's accounting.
+func TestObservedCostAttribution(t *testing.T) {
+	// Large enough to exercise the sorting delivery path (cluster above
+	// the direct-delivery threshold).
+	prog := progtest.Rotate(32, 5, 3, 4, 1, 2, 0)
+	f := cost.Poly{Alpha: 0.5}
+	reg := obs.NewRegistry()
+	o := obs.New(reg, nil)
+
+	res, err := Simulate(prog, f, &Options{Obs: o, CheckInvariants: true})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	assertSameContexts(t, prog, res.Contexts)
+
+	if got := reg.FloatCounter("bt.cost.total").Value(); got != res.HostCost {
+		t.Errorf("bt.cost.total = %v, want exactly HostCost = %v", got, res.HostCost)
+	}
+
+	var sum float64
+	for _, ph := range btPhases {
+		sum += reg.FloatCounter("bt.cost." + ph).Value()
+	}
+	if rel := (sum - res.HostCost) / res.HostCost; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("phase sum %v vs HostCost %v (rel err %v)", sum, res.HostCost, rel)
+	}
+
+	// The deliver.* refinements in turn partition the deliver phase:
+	// every charged operation in deliver()/routeDeliver() happens inside
+	// a sub-phase window (direct delivery would be the exception, but
+	// this cluster size forces the sorting path for coarse labels; fine
+	// labels use direct delivery, whose cost stays in "deliver" alone —
+	// so the sub-phases can only undershoot).
+	deliver := reg.FloatCounter("bt.cost.deliver").Value()
+	var sub float64
+	for _, s := range []string{"juggle", "extract", "sort", "merge", "riffle"} {
+		sub += reg.FloatCounter("bt.cost.deliver." + s).Value()
+	}
+	if sub == 0 {
+		t.Error("sorting delivery path not exercised (no deliver.* sub-phase cost)")
+	}
+	if sub > deliver*(1+1e-9) {
+		t.Errorf("Σ deliver.* = %v exceeds deliver = %v", sub, deliver)
+	}
+
+	if got := reg.Counter("bt.rounds").Value(); got != res.Rounds {
+		t.Errorf("bt.rounds = %d, want %d", got, res.Rounds)
+	}
+	if got := reg.Counter("bt.swaps").Value(); got != res.Swaps {
+		t.Errorf("bt.swaps = %d, want %d", got, res.Swaps)
+	}
+	if got := reg.Counter("bt.blocks.copies").Value(); got != res.Blocks.Copies {
+		t.Errorf("bt.blocks.copies = %d, want %d", got, res.Blocks.Copies)
+	}
+	if got := reg.Counter("bt.blocks.moved").Value(); got != res.Blocks.Words {
+		t.Errorf("bt.blocks.moved = %d, want %d", got, res.Blocks.Words)
+	}
+	if got := reg.Counter("bt.sort.comparisons").Value(); got <= 0 {
+		t.Errorf("bt.sort.comparisons = %d, want > 0", got)
+	}
+
+	// The block-size histogram observes every transfer once and its sum
+	// is the total words moved.
+	h := reg.Histogram("bt.blocks.words")
+	if h.Count() != res.Blocks.Copies {
+		t.Errorf("histogram count = %d, want %d copies", h.Count(), res.Blocks.Copies)
+	}
+	if h.Sum() != res.Blocks.Words {
+		t.Errorf("histogram sum = %d, want %d words", h.Sum(), res.Blocks.Words)
+	}
+
+	// Level accesses mirror the depth profile (word accesses only;
+	// block transfers are counted in bt.blocks.*).
+	var levelAcc int64
+	for k, n := range res.Stats.Depth {
+		levelAcc += reg.Counter(fmt.Sprintf("bt.level.%d.accesses", k)).Value()
+		if got := reg.Counter(fmt.Sprintf("bt.level.%d.accesses", k)).Value(); got != n {
+			t.Errorf("bt.level.%d.accesses = %d, want %d", k, got, n)
+		}
+	}
+	if levelAcc != res.Stats.Accesses() {
+		t.Errorf("Σ level accesses = %d, want %d", levelAcc, res.Stats.Accesses())
+	}
+}
+
+// TestObservedDisabledIdentical: an observer must not perturb the
+// charged cost.
+func TestObservedDisabledIdentical(t *testing.T) {
+	prog := progtest.Rotate(16, 3, 2, 1, 0)
+	f := cost.Log{}
+	plain, err := Simulate(prog, f, nil)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	observed, err := Simulate(prog, f, &Options{Obs: obs.New(obs.NewRegistry(), nil)})
+	if err != nil {
+		t.Fatalf("observed: %v", err)
+	}
+	if plain.HostCost != observed.HostCost {
+		t.Errorf("observer changed cost: %v vs %v", plain.HostCost, observed.HostCost)
+	}
+}

@@ -39,7 +39,7 @@ func (st *state) routeDeliver(n int64, lo int, tr *dbsp.TransposeRoute) {
 	// Space juggling and relocation exactly as in deliver().
 	gap := p.end - n*mu
 	ik := -1
-	st.phase("d.juggle", func() {
+	st.phase("deliver.juggle", func() {
 		if gap > n*mu {
 			label := levelOfSize(st.v, n)
 			ik = coarserLevel(st, label, gap)
@@ -55,7 +55,7 @@ func (st *state) routeDeliver(n int64, lo int, tr *dbsp.TransposeRoute) {
 
 	// Phase 1: extract exactly one (src, payload) record per context in
 	// sender order, zeroing the message counts.
-	st.phase("d.extract", func() { st.extractRoute(&p, n, lo) })
+	st.phase("deliver.extract", func() { st.extractRoute(&p, n, lo) })
 
 	// Phase 2: riffle the records into destination order. Each pass
 	// left-rotates the block-index bits by one: out[2i] = in[i],
@@ -63,7 +63,7 @@ func (st *state) routeDeliver(n int64, lo int, tr *dbsp.TransposeRoute) {
 	// record and scratch regions.
 	passes := bits.Len(uint(tr.M1)) - 1
 	src, dst := p.rec, p.scratch
-	st.phase("d.riffle", func() {
+	st.phase("deliver.riffle", func() {
 		for pass := 0; pass < passes; pass++ {
 			for blk := int64(0); blk < n/bs; blk++ {
 				base := blk * bs * routeRecWords
@@ -87,10 +87,10 @@ func (st *state) routeDeliver(n int64, lo int, tr *dbsp.TransposeRoute) {
 	})
 
 	// Phase 3: merge — destination k's record is record k.
-	st.phase("d.merge", func() { st.mergeRoute(&p, n) })
+	st.phase("deliver.merge", func() { st.mergeRoute(&p, n) })
 
 	// Undo the juggling.
-	st.phase("d.juggle", func() {
+	st.phase("deliver.juggle", func() {
 		st.shiftLeft(p.ctx, n*mu, p.ctx)
 		if ik >= 0 {
 			label := levelOfSize(st.v, n)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dbsp"
 	"repro/internal/hmm"
+	"repro/internal/obs"
 	"repro/internal/smooth"
 )
 
@@ -57,6 +58,10 @@ type Options struct {
 	// (default 8; -1 disables direct delivery entirely). For the E18
 	// ablation.
 	DirectDeliveryMaxBlocks int
+	// Obs, when non-nil, receives metrics (under the "bt." prefix) and
+	// per-phase trace events. See internal/obs for the metric names and
+	// how they attribute the Theorem 12 cost terms.
+	Obs *obs.Observer
 }
 
 // Result reports a completed simulation.
@@ -95,6 +100,13 @@ type state struct {
 	check     bool
 	noRoute   bool
 	directMax int64
+
+	// Observability (nil when Options.Obs is nil; all uses nil-safe).
+	obs           *obs.Observer
+	roundsC       *obs.Counter
+	swapsC        *obs.Counter
+	sortCompsC    *obs.Counter
+	roundsByLabel []*obs.Counter
 }
 
 // Simulate runs prog on an f(x)-BT host. The program must end with a
@@ -156,11 +168,53 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 		st.procOf[p] = p
 		st.posOf[p] = p
 	}
+	// Per-level word-access cost and the block-size profile are
+	// recomputed through the machine's trace hooks so the always-on
+	// accounting pays nothing when observability is off.
+	var levelCost [64]float64
+	if o := opts.Obs; o != nil {
+		st.obs = o
+		st.roundsC = o.Counter("bt.rounds")
+		st.swapsC = o.Counter("bt.swaps")
+		st.sortCompsC = o.Counter("bt.sort.comparisons")
+		st.roundsByLabel = make([]*obs.Counter, st.logv+1)
+		for l := range st.roundsByLabel {
+			st.roundsByLabel[l] = o.Counter(fmt.Sprintf("bt.rounds.label.%d", l))
+		}
+		blockHist := o.Histogram("bt.blocks.words")
+		m.TraceBlock = func(_, _, b int64) { blockHist.Observe(b) }
+		m.Trace = func(_ hmm.Op, x int64) {
+			levelCost[obs.BucketOf(x)] += f.Cost(x)
+		}
+	}
 	// Round-start invariant: memory fully unpacked (Figure 5, line 0).
-	st.unpack(0)
+	st.phase("unpack", func() { st.unpack(0) })
 
 	if err := st.loop(); err != nil {
 		return nil, err
+	}
+
+	if o := opts.Obs; o != nil {
+		m.Trace, m.TraceBlock = nil, nil
+		ms := m.Stats()
+		bs := m.BlockStats()
+		// Copied verbatim so the report's total is exactly HostCost.
+		o.FloatCounter("bt.cost.total").Add(m.Cost())
+		o.Counter("bt.reads").Add(ms.Reads)
+		o.Counter("bt.writes").Add(ms.Writes)
+		o.Counter("bt.computeops").Add(ms.ComputeOps)
+		o.Counter("bt.blocks.copies").Add(bs.Copies)
+		o.Counter("bt.blocks.moved").Add(bs.Words)
+		o.FloatCounter("bt.blocks.cost").Add(bs.Cost)
+		o.Gauge("bt.steps.smoothed").Set(int64(len(run.Steps)))
+		o.Gauge("bt.memory.words").Set(m.Size())
+		for k, n := range ms.Depth {
+			if n == 0 {
+				continue
+			}
+			o.Counter(fmt.Sprintf("bt.level.%d.accesses", k)).Add(n)
+			o.FloatCounter(fmt.Sprintf("bt.level.%d.cost", k)).Add(levelCost[k])
+		}
 	}
 
 	res := &Result{
@@ -240,18 +294,23 @@ func (st *state) shiftLeft(start, num, by int64) {
 	}
 }
 
-// phaseCost, when non-nil, accumulates charged cost per simulator phase
-// (test instrumentation).
-var phaseCost map[string]float64
-
+// phase runs fn inside a cost window attributed to bt.cost.<name>.
+// Dotted names ("deliver.sort") are refinements of their parent phase
+// and overlap its window; plain names partition the total. With no
+// observer the call is a plain function call.
 func (st *state) phase(name string, fn func()) {
-	if phaseCost == nil {
+	if st.obs == nil {
 		fn()
 		return
 	}
 	before := st.m.Cost()
 	fn()
-	phaseCost[name] += st.m.Cost() - before
+	delta := st.m.Cost() - before
+	st.obs.FloatCounter("bt.cost." + name).Add(delta)
+	if st.obs.Tracing() {
+		st.obs.Emit(obs.Event{Sim: "bt", Kind: "phase", Phase: name,
+			Round: st.rounds, Cost: delta})
+	}
 }
 
 // loop is the while-loop of Figure 5.
@@ -265,6 +324,7 @@ func (st *state) loop() error {
 
 	for {
 		st.rounds++
+		st.roundsC.Inc()
 		if st.rounds > maxRounds {
 			return fmt.Errorf("btsim: scheduler did not terminate after %d rounds", st.rounds)
 		}
@@ -282,6 +342,9 @@ func (st *state) loop() error {
 				return err
 			}
 		}
+		if st.roundsByLabel != nil {
+			st.roundsByLabel[label].Inc()
+		}
 
 		// Step 1.a: pack the top cluster.
 		st.phase("pack", func() { st.pack(label) })
@@ -298,12 +361,14 @@ func (st *state) loop() error {
 			if nextLabel := steps[s+1].Label; nextLabel < label {
 				b := 1 << uint(label-nextLabel)
 				j := (lo / csize) % b
-				if j > 0 {
-					st.swapTopWithSibling(j, csize)
-				}
-				if j < b-1 {
-					st.swapTopWithSibling(j+1, csize)
-				}
+				st.phase("swap", func() {
+					if j > 0 {
+						st.swapTopWithSibling(j, csize)
+					}
+					if j < b-1 {
+						st.swapTopWithSibling(j+1, csize)
+					}
+				})
 			}
 		}
 		// Step 5: restore the unpacked invariant.
@@ -329,6 +394,7 @@ func (st *state) swapTopWithSibling(r, csize int) {
 		st.posOf[pa], st.posOf[pb] = b, a
 	}
 	st.swaps++
+	st.swapsC.Inc()
 }
 
 // verifyInvariants checks the scheduler invariants at a round start.

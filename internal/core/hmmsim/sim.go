@@ -22,6 +22,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dbsp"
 	"repro/internal/hmm"
+	"repro/internal/obs"
 	"repro/internal/smooth"
 )
 
@@ -58,6 +59,10 @@ type Options struct {
 	// current block-to-processor assignment (do not retain the slice).
 	// cmd/memtrace uses it to render the Figure 2 cluster movements.
 	Observer func(round int64, step, label int, procOfBlock []int)
+	// Obs, when non-nil, receives metrics (under the "hmm." prefix)
+	// and per-round trace events. See internal/obs for the metric
+	// names and how they attribute the Theorem 5 cost terms.
+	Obs *obs.Observer
 }
 
 // Result reports a completed simulation.
@@ -102,6 +107,15 @@ type state struct {
 	globalV int // machine size presented to handlers
 	labelOff int
 	observer func(round int64, step, label int, procOfBlock []int)
+
+	// Observability (all nil-safe; nil when opts.Obs is nil).
+	obs           *obs.Observer
+	costCompute   *obs.FloatCounter // handler work + context accesses
+	costDeliver   *obs.FloatCounter // message exchange
+	costSwap      *obs.FloatCounter // Figure 2 sibling cycling
+	roundsC       *obs.Counter
+	swapsC        *obs.Counter
+	roundsByLabel []*obs.Counter // rounds executed per superstep label
 }
 
 // Simulate runs prog on an f(x)-HMM host, returning the final guest
@@ -159,9 +173,39 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 		}
 	}
 
+	// Per-level access cost. The machine's always-on accounting keeps
+	// only access counts per level (Stats.Depth); the per-level cost
+	// split is recomputed through the Trace hook so the charge() hot
+	// path pays nothing when observability is off.
+	var levelCost [64]float64
+	if opts.Obs != nil {
+		m.Trace = func(_ hmm.Op, x int64) {
+			levelCost[obs.BucketOf(x)] += f.Cost(x)
+		}
+	}
+
 	st := newState(m, run, prog.Layout, opts)
 	if err := st.loop(); err != nil {
 		return nil, err
+	}
+
+	if o := opts.Obs; o != nil {
+		m.Trace = nil
+		ms := m.Stats()
+		// Copied verbatim so the report's total is exactly HostCost.
+		o.FloatCounter("hmm.cost.total").Add(m.Cost())
+		o.Counter("hmm.reads").Add(ms.Reads)
+		o.Counter("hmm.writes").Add(ms.Writes)
+		o.Counter("hmm.computeops").Add(ms.ComputeOps)
+		o.Gauge("hmm.steps.smoothed").Set(int64(len(run.Steps)))
+		o.Gauge("hmm.memory.words").Set(m.Size())
+		for k, n := range ms.Depth {
+			if n == 0 {
+				continue
+			}
+			o.Counter(fmt.Sprintf("hmm.level.%d.accesses", k)).Add(n)
+			o.FloatCounter(fmt.Sprintf("hmm.level.%d.cost", k)).Add(levelCost[k])
+		}
 	}
 
 	res := &Result{
@@ -202,6 +246,20 @@ func newState(m *hmm.Machine, run *dbsp.Program, layout dbsp.Layout, opts *Optio
 		st.posOf[p] = p
 		st.procOf[p] = p
 	}
+	if o := opts.Obs; o != nil {
+		// Resolve every hot-path metric once; the loop then touches
+		// only atomics.
+		st.obs = o
+		st.costCompute = o.FloatCounter("hmm.cost.compute")
+		st.costDeliver = o.FloatCounter("hmm.cost.deliver")
+		st.costSwap = o.FloatCounter("hmm.cost.swap")
+		st.roundsC = o.Counter("hmm.rounds")
+		st.swapsC = o.Counter("hmm.swaps")
+		st.roundsByLabel = make([]*obs.Counter, run.LogV()+1)
+		for l := range st.roundsByLabel {
+			st.roundsByLabel[l] = o.Counter(fmt.Sprintf("hmm.rounds.label.%d", l))
+		}
+	}
 	return st
 }
 
@@ -241,6 +299,7 @@ func (st *state) loop() error {
 
 	for {
 		st.rounds++
+		st.roundsC.Inc()
 		if st.rounds > maxRounds {
 			return fmt.Errorf("hmmsim: scheduler did not terminate after %d rounds (program not smooth or missing global end?)", st.rounds)
 		}
@@ -263,6 +322,16 @@ func (st *state) loop() error {
 				return err
 			}
 		}
+		// Per-label counts cover work rounds only; the terminating
+		// check round above is counted in hmm.rounds but has no label.
+		if st.roundsByLabel != nil {
+			st.roundsByLabel[label].Inc()
+		}
+		tracing := st.obs.Tracing()
+		var costBefore float64
+		if tracing {
+			costBefore = st.m.Cost()
+		}
 
 		// Step 2: simulate superstep s for cluster C.
 		if steps[s].Run != nil {
@@ -273,24 +342,27 @@ func (st *state) loop() error {
 		}
 
 		// Step 3: exit is handled at the top of the next round.
-		if s+1 >= len(steps) {
-			continue
-		}
 		// Step 4: when the next superstep is coarser, cycle sibling
 		// clusters through the top of memory.
-		nextLabel := steps[s+1].Label
-		if nextLabel < label {
-			if nextLabel < 0 || label > logv {
-				return fmt.Errorf("hmmsim: corrupt labels %d -> %d", label, nextLabel)
+		if s+1 < len(steps) {
+			nextLabel := steps[s+1].Label
+			if nextLabel < label {
+				if nextLabel < 0 || label > logv {
+					return fmt.Errorf("hmmsim: corrupt labels %d -> %d", label, nextLabel)
+				}
+				b := 1 << uint(label-nextLabel)
+				j := cIdx % b
+				if j > 0 {
+					st.swapRegions(0, j, csize)
+				}
+				if j < b-1 {
+					st.swapRegions(0, j+1, csize)
+				}
 			}
-			b := 1 << uint(label-nextLabel)
-			j := cIdx % b
-			if j > 0 {
-				st.swapRegions(0, j, csize)
-			}
-			if j < b-1 {
-				st.swapRegions(0, j+1, csize)
-			}
+		}
+		if tracing {
+			st.obs.Emit(obs.Event{Sim: "hmm", Kind: "round", Round: st.rounds,
+				Step: s, Label: label, N: int64(csize), Cost: st.m.Cost() - costBefore})
 		}
 	}
 }
@@ -301,6 +373,10 @@ func (st *state) loop() error {
 func (st *state) simulateStep(s, lo, csize int) {
 	mu := st.mu
 	l := st.layout
+	var mark float64
+	if st.obs != nil {
+		mark = st.m.Cost()
+	}
 	// Local computation. The paper brings each context in turn to the
 	// top of memory; running the handler in place at block k is
 	// equivalent for the Theorem 5 analysis — every access stays within
@@ -312,6 +388,11 @@ func (st *state) simulateStep(s, lo, csize int) {
 		store := &hmmStore{m: st.m, base: int64(k) * mu}
 		c := dbsp.NewCtx(store, l, q, st.globalV, st.labelOff+st.prog.Steps[s].Label)
 		st.prog.Steps[s].Run(c)
+	}
+	if st.obs != nil {
+		now := st.m.Cost()
+		st.costCompute.Add(now - mark)
+		mark = now
 	}
 	// Message exchange. First clear the inbox counts (native Deliver
 	// semantics), then scan outboxes in ascending processor order and
@@ -337,6 +418,9 @@ func (st *state) simulateStep(s, lo, csize int) {
 			st.m.Write(base+int64(l.OutCountOff()), 0)
 		}
 	}
+	if st.obs != nil {
+		st.costDeliver.Add(st.m.Cost() - mark)
+	}
 }
 
 // swapRegions exchanges the csize-block region at the top of memory
@@ -344,6 +428,10 @@ func (st *state) simulateStep(s, lo, csize int) {
 // processor-position tables.
 func (st *state) swapRegions(_ int, r, csize int) {
 	mu := st.mu
+	var mark float64
+	if st.obs != nil {
+		mark = st.m.Cost()
+	}
 	st.m.SwapRange(0, int64(r)*int64(csize)*mu, int64(csize)*mu)
 	for k := 0; k < csize; k++ {
 		a, b := k, r*csize+k
@@ -352,6 +440,10 @@ func (st *state) swapRegions(_ int, r, csize int) {
 		st.posOf[pa], st.posOf[pb] = b, a
 	}
 	st.swaps++
+	st.swapsC.Inc()
+	if st.obs != nil {
+		st.costSwap.Add(st.m.Cost() - mark)
+	}
 }
 
 // verifyInvariants checks Invariants 1 and 2 for the round about to

@@ -1,0 +1,89 @@
+package selfsim
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/progtest"
+)
+
+// TestObservedCostAttribution is the acceptance check for the
+// self-simulation: self.cost.total is EXACTLY the returned HostCost,
+// the four phase counters partition it, and the partition counters
+// mirror the Result fields.
+func TestObservedCostAttribution(t *testing.T) {
+	v, vPrime := 16, 4
+	prog := progtest.Rotate(v, 3, 1, 4, 2, 0)
+	g := cost.Log{}
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(1 << 12)
+	o := obs.New(reg, ring)
+
+	res, err := Simulate(prog, g, vPrime, &Options{Obs: o})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+
+	if got := reg.FloatCounter("self.cost.total").Value(); got != res.HostCost {
+		t.Errorf("self.cost.total = %v, want exactly HostCost = %v", got, res.HostCost)
+	}
+	sum := reg.FloatCounter("self.cost.local").Value() +
+		reg.FloatCounter("self.cost.compute").Value() +
+		reg.FloatCounter("self.cost.place").Value() +
+		reg.FloatCounter("self.cost.comm").Value()
+	if rel := (sum - res.HostCost) / res.HostCost; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("phase sum %v vs HostCost %v (rel err %v)", sum, res.HostCost, rel)
+	}
+	if got := reg.FloatCounter("self.cost.comm").Value(); got != res.CommCost {
+		t.Errorf("self.cost.comm = %v, want %v", got, res.CommCost)
+	}
+	if got := reg.Counter("self.global.steps").Value(); got != int64(res.GlobalSteps) {
+		t.Errorf("self.global.steps = %d, want %d", got, res.GlobalSteps)
+	}
+	if got := reg.Counter("self.local.runs").Value(); got != int64(res.LocalRuns) {
+		t.Errorf("self.local.runs = %d, want %d", got, res.LocalRuns)
+	}
+	if got := reg.Gauge("self.perhost").Value(); got != int64(v/vPrime) {
+		t.Errorf("self.perhost = %d, want %d", got, v/vPrime)
+	}
+
+	// One event per global step and per local run, and their costs sum
+	// to the total (each event carries its full phase-window delta).
+	var globals, locals int64
+	var evCost float64
+	for _, e := range ring.Events() {
+		switch {
+		case e.Sim == "self" && e.Kind == "global-step":
+			globals++
+			evCost += e.Cost
+		case e.Sim == "self" && e.Kind == "local-run":
+			locals++
+			evCost += e.Cost
+		}
+	}
+	if globals != int64(res.GlobalSteps) || locals != int64(res.LocalRuns) {
+		t.Errorf("events: %d global, %d local; want %d, %d",
+			globals, locals, res.GlobalSteps, res.LocalRuns)
+	}
+	if rel := (evCost - res.HostCost) / res.HostCost; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("Σ event cost %v vs HostCost %v", evCost, res.HostCost)
+	}
+}
+
+// TestObservedDisabledIdentical: an observer must not perturb the cost.
+func TestObservedDisabledIdentical(t *testing.T) {
+	prog := progtest.Rotate(16, 3, 2, 1, 0)
+	g := cost.Log{}
+	plain, err := Simulate(prog, g, 4, nil)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	observed, err := Simulate(prog, g, 4, &Options{Obs: obs.New(obs.NewRegistry(), nil)})
+	if err != nil {
+		t.Fatalf("observed: %v", err)
+	}
+	if plain.HostCost != observed.HostCost {
+		t.Errorf("observer changed cost: %v vs %v", plain.HostCost, observed.HostCost)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dbsp"
 	"repro/internal/hmm"
+	"repro/internal/obs"
 	"repro/internal/smooth"
 )
 
@@ -38,6 +39,10 @@ type Options struct {
 	// CheckInvariants enables the scheduler invariant checks inside the
 	// local-run simulations.
 	CheckInvariants bool
+	// Obs, when non-nil, receives metrics (under the "self." prefix) and
+	// per-phase trace events. See internal/obs for the metric names and
+	// how they attribute the Theorem 10 cost terms.
+	Obs *obs.Observer
 }
 
 // Result reports a completed self-simulation.
@@ -97,6 +102,13 @@ func Simulate(prog *dbsp.Program, g cost.Func, vPrime int, opts *Options) (*Resu
 			}
 		}
 	}
+	if o := opts.Obs; o != nil {
+		s.obs = o
+		s.costLocal = o.FloatCounter("self.cost.local")
+		s.costCompute = o.FloatCounter("self.cost.compute")
+		s.costPlace = o.FloatCounter("self.cost.place")
+		s.costComm = o.FloatCounter("self.cost.comm")
+	}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -107,6 +119,15 @@ func Simulate(prog *dbsp.Program, g cost.Func, vPrime int, opts *Options) (*Resu
 		CommCost:    s.commCost,
 		GlobalSteps: s.globalSteps,
 		LocalRuns:   s.localRuns,
+	}
+	if o := opts.Obs; o != nil {
+		// Copied verbatim so the report's total is exactly HostCost.
+		o.FloatCounter("self.cost.total").Add(res.HostCost)
+		o.Counter("self.global.steps").Add(int64(s.globalSteps))
+		o.Counter("self.local.runs").Add(int64(s.localRuns))
+		o.Gauge("self.v").Set(int64(prog.V))
+		o.Gauge("self.vprime").Set(int64(vPrime))
+		o.Gauge("self.perhost").Set(int64(s.perHost))
 	}
 	res.Contexts = make([][]Word, prog.V)
 	for j := 0; j < vPrime; j++ {
@@ -132,6 +153,16 @@ type sim struct {
 	commCost    float64
 	globalSteps int
 	localRuns   int
+
+	// Observability (nil-safe; nil when Options.Obs is nil). The four
+	// phase counters partition HostCost: local (module time of local
+	// runs), compute (Phase A of global steps), place (Phase B), comm
+	// (the router term h·g(µ·v/2^i)).
+	obs         *obs.Observer
+	costLocal   *obs.FloatCounter
+	costCompute *obs.FloatCounter
+	costPlace   *obs.FloatCounter
+	costComm    *obs.FloatCounter
 }
 
 // run partitions the program into maximal global/local runs and
@@ -144,13 +175,13 @@ func (s *sim) run() error {
 			for j < len(steps) && steps[j].Label >= s.logvp {
 				j++
 			}
-			if err := s.localRun(steps[i:j]); err != nil {
+			if err := s.localRun(steps[i:j], i); err != nil {
 				return err
 			}
 			i = j
 			continue
 		}
-		if err := s.globalStep(steps[i]); err != nil {
+		if err := s.globalStep(steps[i], i); err != nil {
 			return err
 		}
 		i++
@@ -162,7 +193,7 @@ func (s *sim) run() error {
 // every host processor runs the Section 3 scheduler on its own module,
 // independently and (conceptually) in parallel — the charged time is
 // the maximum module delta.
-func (s *sim) localRun(steps []dbsp.Superstep) error {
+func (s *sim) localRun(steps []dbsp.Superstep, first int) error {
 	s.localRuns++
 	sub := &dbsp.Program{
 		Name:   s.prog.Name + "+local",
@@ -199,6 +230,11 @@ func (s *sim) localRun(steps []dbsp.Superstep) error {
 		}
 	}
 	s.moduleCost += maxDelta
+	s.costLocal.Add(maxDelta)
+	if s.obs.Tracing() {
+		s.obs.Emit(obs.Event{Sim: "self", Kind: "local-run", Step: first,
+			Label: steps[0].Label, N: int64(len(steps)), Cost: maxDelta})
+	}
 	return nil
 }
 
@@ -212,11 +248,12 @@ type message struct {
 // computation inside every module, a host i-superstep exchanging the
 // guest messages, and a host (log v′)-superstep placing them into the
 // destination inboxes.
-func (s *sim) globalStep(st dbsp.Superstep) error {
+func (s *sim) globalStep(st dbsp.Superstep, index int) error {
 	if st.Run == nil {
 		return nil
 	}
 	s.globalSteps++
+	costBefore := s.moduleCost + s.commCost
 	l := s.layout
 	mu := s.mu
 	inbox := make([][]message, s.vPrime)
@@ -253,6 +290,7 @@ func (s *sim) globalStep(st dbsp.Superstep) error {
 		}
 	}
 	s.moduleCost += maxDelta
+	s.costCompute.Add(maxDelta)
 
 	// Router charge: an h-relation of guest messages within i-clusters,
 	// h the max messages per host processor, each message a remote
@@ -266,7 +304,9 @@ func (s *sim) globalStep(st dbsp.Superstep) error {
 			h = len(inbox[j])
 		}
 	}
-	s.commCost += float64(h) * dbsp.CommCost(s.g, s.layout.Mu(), s.prog.V, st.Label)
+	comm := float64(h) * dbsp.CommCost(s.g, s.layout.Mu(), s.prog.V, st.Label)
+	s.commCost += comm
+	s.costComm.Add(comm)
 
 	// Phase B (the log v′-superstep): clear every inbox and place the
 	// received messages, in ascending global sender order.
@@ -294,6 +334,11 @@ func (s *sim) globalStep(st dbsp.Superstep) error {
 		}
 	}
 	s.moduleCost += maxDelta
+	s.costPlace.Add(maxDelta)
+	if s.obs.Tracing() {
+		s.obs.Emit(obs.Event{Sim: "self", Kind: "global-step", Step: index,
+			Label: st.Label, N: int64(h), Cost: s.moduleCost + s.commCost - costBefore})
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 )
 
 // MessageTrace records one routed message.
@@ -33,6 +34,16 @@ type Trace struct {
 // RunTraced executes prog like Run while recording every routed
 // message.
 func RunTraced(prog *Program, g cost.Func) (*Result, *Trace, error) {
+	return RunObserved(prog, g, nil)
+}
+
+// RunObserved executes prog like Run while recording every routed
+// message and, when o is non-nil, publishing the run's accounting to
+// the observability layer: the per-label superstep histogram
+// (dbsp.lambda.label.<i> — the λ_i of the Theorem 5/12 formulas),
+// message volume, h-relation degrees, the computation/communication
+// cost split, and one "superstep" trace event per executed superstep.
+func RunObserved(prog *Program, g cost.Func, o *obs.Observer) (*Result, *Trace, error) {
 	tr := &Trace{V: prog.V}
 	res, err := runHooked(prog, g, func(step, label int, msgs []MessageTrace) {
 		tr.Steps = append(tr.Steps, StepTrace{Index: step, Label: label, Messages: msgs})
@@ -40,7 +51,36 @@ func RunTraced(prog *Program, g cost.Func) (*Result, *Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if o != nil {
+		publishRun(o, prog, res, tr)
+	}
 	return res, tr, nil
+}
+
+// publishRun copies a finished native run's accounting into the
+// registry and emits per-superstep events. Totals are copied verbatim
+// (dbsp.cost.total is exactly Result.Cost).
+func publishRun(o *obs.Observer, prog *Program, res *Result, tr *Trace) {
+	o.Counter("dbsp.supersteps").Add(int64(len(res.Steps)))
+	o.FloatCounter("dbsp.cost.compute").Add(float64(res.TotalTau()))
+	o.FloatCounter("dbsp.cost.comm").Add(res.CommCost())
+	o.FloatCounter("dbsp.cost.total").Add(res.Cost)
+	o.Gauge("dbsp.v").Set(int64(prog.V))
+	o.Gauge("dbsp.mu").Set(int64(prog.Mu()))
+	hHist := o.Histogram("dbsp.h.per.step")
+	for i, sc := range res.Steps {
+		o.Counter(fmt.Sprintf("dbsp.lambda.label.%d", sc.Label)).Inc()
+		hHist.Observe(int64(sc.H))
+		o.Emit(obs.Event{Sim: "dbsp", Kind: "superstep", Step: i, Label: sc.Label,
+			N: int64(sc.H), Cost: sc.Cost})
+	}
+	var msgs int64
+	msgHist := o.Histogram("dbsp.msgs.per.step")
+	for _, st := range tr.Steps {
+		msgs += int64(len(st.Messages))
+		msgHist.Observe(int64(len(st.Messages)))
+	}
+	o.Counter("dbsp.messages").Add(msgs)
 }
 
 // LocalityLevel returns the label of the finest cluster containing both

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core/selfsim"
 	"repro/internal/cost"
 	"repro/internal/dbsp"
+	"repro/internal/obs"
 	"repro/internal/progtest"
 	"repro/internal/theory"
 	"repro/internal/workload"
@@ -34,7 +35,7 @@ func E08Brent(quick bool) *Table {
 	prog := progtest.Rotate(v, progtest.Descending(v)...)
 	prev := 0.0
 	for vp := v; vp >= 1; vp /= 2 {
-		res, err := selfsim.Simulate(prog, g1, vp, nil)
+		res, err := selfsim.Simulate(prog, g1, vp, selfOpts())
 		if err != nil {
 			panic(err)
 		}
@@ -77,7 +78,7 @@ func E09BTSim(quick bool) *Table {
 		pred := theory.BTSimulation(v, prog.Mu(), float64(flat.TotalTau()), prog.Lambda(true))
 		var logCost float64
 		for _, f := range funcs {
-			res, err := btsim.Simulate(prog, f, nil)
+			res, err := btsim.Simulate(prog, f, btOpts())
 			if err != nil {
 				panic(err)
 			}
@@ -115,7 +116,7 @@ func E10BTMatMul(quick bool) *Table {
 		for _, n := range sizes {
 			side := 1 << uint(dbsp.Log2(n)/2)
 			prog := algos.MatMul(n, workload.Matrix(13, side, 4), workload.Matrix(14, side, 4))
-			sched, err := btsim.Simulate(prog, f, nil)
+			sched, err := btsim.Simulate(prog, f, btOpts())
 			if err != nil {
 				panic(err)
 			}
@@ -170,11 +171,11 @@ func E11BTDFTChoice(quick bool) *Table {
 		nrecA, _ := dbsp.Run(rec, f)
 		nbfL, _ := dbsp.Run(bf, cost.Log{})
 		nrecL, _ := dbsp.Run(rec, cost.Log{})
-		sbf, err := btsim.Simulate(bf, f, nil)
+		sbf, err := btsim.Simulate(bf, f, btOpts())
 		if err != nil {
 			panic(err)
 		}
-		srec, err := btsim.Simulate(rec, f, nil)
+		srec, err := btsim.Simulate(rec, f, btOpts())
 		if err != nil {
 			panic(err)
 		}
@@ -197,21 +198,28 @@ func E15Compute(quick bool) *Table {
 		ID:      "E15",
 		Title:   "COMPUTE chunk recursion overhead (Section 5.2.1)",
 		Claim:   "local computation is simulated with overhead TM(n) = O(µ·n·c*(n))",
-		Columns: []string{"f", "v", "sim cost", "steps·µ·v·c*(v)", "ratio"},
-		Notes:   "Shape holds when the ratio is flat across v for each f.",
+		Columns: []string{"f", "v", "sim cost", "compute phase", "steps·µ·v·c*(v)", "ratio"},
+		Notes: "The compute phase is the measured bt.cost.compute counter (the " +
+			"Figure 6 recursion alone, excluding pack/unpack and delivery); " +
+			"shape holds when its ratio to TM(n) is flat across v for each f.",
 	}
 	steps := 6
 	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
 		for _, v := range vs {
 			labels := make([]int, steps)
 			prog := progtest.ComputeOnly(v, 4, labels...)
-			res, err := btsim.Simulate(prog, f, nil)
+			// A private registry per run: the table compares the measured
+			// COMPUTE phase counter against the bound, not a re-derived
+			// estimate.
+			reg := obs.NewRegistry()
+			res, err := btsim.Simulate(prog, f, &btsim.Options{Obs: obs.New(reg, nil)})
 			if err != nil {
 				panic(err)
 			}
+			compute := reg.FloatCounter("bt.cost.compute").Value()
 			pred := float64(steps+1) * theory.ComputeOverhead(f, int64(prog.Mu()), int64(v))
 			t.Rows = append(t.Rows, []string{
-				f.Name(), fmt.Sprint(v), g(res.HostCost), g(pred), r(res.HostCost / pred)})
+				f.Name(), fmt.Sprint(v), g(res.HostCost), g(compute), g(pred), r(compute / pred)})
 		}
 	}
 	return t
@@ -239,11 +247,11 @@ func E17RouteDelivery(quick bool) *Table {
 	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
 		for _, n := range sizes {
 			prog := algos.DFTRecursive(n, workload.KeyFunc(62, n, 1<<20))
-			routed, err := btsim.Simulate(prog, f, nil)
+			routed, err := btsim.Simulate(prog, f, btOpts())
 			if err != nil {
 				panic(err)
 			}
-			sorted, err := btsim.Simulate(prog, f, &btsim.Options{DisableRouteDelivery: true})
+			sorted, err := btsim.Simulate(prog, f, &btsim.Options{DisableRouteDelivery: true, Obs: sharedObs})
 			if err != nil {
 				panic(err)
 			}
@@ -277,11 +285,11 @@ func E18DirectDelivery(quick bool) *Table {
 	f := cost.Poly{Alpha: 0.5}
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
-		def, err := btsim.Simulate(prog, f, nil)
+		def, err := btsim.Simulate(prog, f, btOpts())
 		if err != nil {
 			panic(err)
 		}
-		off, err := btsim.Simulate(prog, f, &btsim.Options{DirectDeliveryMaxBlocks: -1})
+		off, err := btsim.Simulate(prog, f, &btsim.Options{DirectDeliveryMaxBlocks: -1, Obs: sharedObs})
 		if err != nil {
 			panic(err)
 		}

@@ -38,7 +38,7 @@ func E05MatMul(quick bool) *Table {
 			if err != nil {
 				panic(err)
 			}
-			sim, err := hmmsim.Simulate(prog, f, nil)
+			sim, err := hmmsim.Simulate(prog, f, hmmOpts())
 			if err != nil {
 				panic(err)
 			}
@@ -86,7 +86,7 @@ func E06DFT(quick bool) *Table {
 			if err != nil {
 				panic(err)
 			}
-			sim, err := hmmsim.Simulate(prog, c.f, nil)
+			sim, err := hmmsim.Simulate(prog, c.f, hmmOpts())
 			if err != nil {
 				panic(err)
 			}
@@ -124,7 +124,7 @@ func E07Sort(quick bool) *Table {
 			if err != nil {
 				panic(err)
 			}
-			sim, err := hmmsim.Simulate(prog, f, nil)
+			sim, err := hmmsim.Simulate(prog, f, hmmOpts())
 			if err != nil {
 				panic(err)
 			}

@@ -36,7 +36,7 @@ func E03HMMSlowdown(quick bool) *Table {
 			if err != nil {
 				panic(err)
 			}
-			res, err := hmmsim.Simulate(prog, f, nil)
+			res, err := hmmsim.Simulate(prog, f, hmmOpts())
 			if err != nil {
 				panic(err)
 			}
@@ -73,7 +73,7 @@ func E04NaiveVsScheduled(quick bool) *Table {
 	f := cost.Poly{Alpha: 0.5}
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
-		sched, err := hmmsim.Simulate(prog, f, nil)
+		sched, err := hmmsim.Simulate(prog, f, hmmOpts())
 		if err != nil {
 			panic(err)
 		}
@@ -112,15 +112,15 @@ func E14SmoothingAblation(quick bool) *Table {
 		// Descending labels: already smooth, so the unsmoothed column is
 		// legal and the identity set adds no dummies.
 		prog := progtest.Rotate(v, progtest.Descending(v)...)
-		def, err := hmmsim.Simulate(prog, f, nil)
+		def, err := hmmsim.Simulate(prog, f, hmmOpts())
 		if err != nil {
 			panic(err)
 		}
-		ident, err := hmmsim.Simulate(prog, f, &hmmsim.Options{Labels: smooth.Identity(dbsp.Log2(v))})
+		ident, err := hmmsim.Simulate(prog, f, &hmmsim.Options{Labels: smooth.Identity(dbsp.Log2(v)), Obs: sharedObs})
 		if err != nil {
 			panic(err)
 		}
-		raw, err := hmmsim.Simulate(prog, f, &hmmsim.Options{DisableSmoothing: true})
+		raw, err := hmmsim.Simulate(prog, f, &hmmsim.Options{DisableSmoothing: true, Obs: sharedObs})
 		if err != nil {
 			panic(err)
 		}
@@ -132,11 +132,11 @@ func E14SmoothingAblation(quick bool) *Table {
 		// unsmoothed) and the Theorem 5 bundling pays off most.
 		logv := dbsp.Log2(v)
 		saw := progtest.Rotate(v, logv-1, 0, logv-1, 0, logv-1, 0)
-		defS, err := hmmsim.Simulate(saw, f, nil)
+		defS, err := hmmsim.Simulate(saw, f, hmmOpts())
 		if err != nil {
 			panic(err)
 		}
-		identS, err := hmmsim.Simulate(saw, f, &hmmsim.Options{Labels: smooth.Identity(logv)})
+		identS, err := hmmsim.Simulate(saw, f, &hmmsim.Options{Labels: smooth.Identity(logv), Obs: sharedObs})
 		if err != nil {
 			panic(err)
 		}

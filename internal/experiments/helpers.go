@@ -2,9 +2,46 @@ package experiments
 
 import (
 	"repro/internal/algos"
+	"repro/internal/core/btsim"
+	"repro/internal/core/hmmsim"
+	"repro/internal/core/selfsim"
 	"repro/internal/dbsp"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+// sharedObs, when set, instruments every simulation the experiment
+// tables run: all metrics accumulate into the caller's registry and
+// trace events flow to its sink. cmd/experiments installs it for
+// -metrics/-trace-out.
+var sharedObs *obs.Observer
+
+// SetObserver installs (or, with nil, removes) the shared observer.
+// Call before running experiments; not safe concurrently with them.
+func SetObserver(o *obs.Observer) { sharedObs = o }
+
+// hmmOpts/btOpts/selfOpts return the default simulation options,
+// carrying the shared observer when one is installed.
+func hmmOpts() *hmmsim.Options {
+	if sharedObs == nil {
+		return nil
+	}
+	return &hmmsim.Options{Obs: sharedObs}
+}
+
+func btOpts() *btsim.Options {
+	if sharedObs == nil {
+		return nil
+	}
+	return &btsim.Options{Obs: sharedObs}
+}
+
+func selfOpts() *selfsim.Options {
+	if sharedObs == nil {
+		return nil
+	}
+	return &selfsim.Options{Obs: sharedObs}
+}
 
 // Program builders shared by the slack audit (E19).
 

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter, one float counter and one
+// histogram from many goroutines; run under -race this doubles as the
+// data-race check for the registry and every metric kind.
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve through the registry inside the goroutine so the
+			// create-on-first-use path races too.
+			c := reg.Counter("c")
+			f := reg.FloatCounter("f")
+			h := reg.Histogram("h")
+			g := reg.Gauge("g")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				f.Add(0.5)
+				h.Observe(int64(i % 100))
+				g.Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.FloatCounter("f").Value(); got != workers*perWorker*0.5 {
+		t.Errorf("float counter = %g, want %g", got, float64(workers*perWorker)*0.5)
+	}
+	if got := reg.Histogram("h").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilReceiversNoop(t *testing.T) {
+	var (
+		c *Counter
+		f *FloatCounter
+		g *Gauge
+		h *Histogram
+		r *Registry
+		o *Observer
+	)
+	c.Add(5)
+	c.Inc()
+	f.Add(1.5)
+	f.Set(2)
+	g.Set(3)
+	h.Observe(4)
+	h.AddAt(2, 7)
+	if c.Value() != 0 || f.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if h.Buckets() != nil {
+		t.Error("nil histogram must have no buckets")
+	}
+	if r.Counter("x") != nil || r.FloatCounter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must return nil metrics")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+	o.Counter("x").Inc()
+	o.Emit(Event{Kind: "k"})
+	if o.Tracing() {
+		t.Error("nil observer must not report tracing")
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("nil observer Close: %v", err)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// BucketRange must invert BucketOf: every value lands inside its
+	// bucket's range.
+	for _, c := range cases {
+		if c.v < 0 {
+			continue
+		}
+		lo, hi := BucketRange(BucketOf(c.v))
+		if c.v != 0 && (c.v < lo || c.v >= hi) {
+			t.Errorf("value %d outside its bucket range [%d,%d)", c.v, lo, hi)
+		}
+	}
+
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(7)
+	h.Observe(8)
+	buckets := h.Buckets()
+	want := []int64{1, 1, 0, 1, 1}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", buckets, want)
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", buckets, want)
+		}
+	}
+	if h.Count() != 4 || h.Sum() != 16 {
+		t.Errorf("count=%d sum=%d, want 4, 16", h.Count(), h.Sum())
+	}
+
+	h2 := &Histogram{}
+	h2.AddAt(3, 5)
+	if h2.Count() != 5 {
+		t.Errorf("AddAt count = %d, want 5", h2.Count())
+	}
+	if got := h2.Buckets()[3]; got != 5 {
+		t.Errorf("AddAt bucket 3 = %d, want 5", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	reg.Histogram("m")
+}
+
+func TestSnapshotSortedAndTyped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(3)
+	reg.FloatCounter("a.cost").Add(1.5)
+	reg.Gauge("c.gauge").Set(-7)
+	reg.Histogram("d.hist").Observe(10)
+	snap := reg.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d samples, want 4", len(snap))
+	}
+	wantNames := []string{"a.cost", "b.count", "c.gauge", "d.hist"}
+	wantKinds := []string{"float", "counter", "gauge", "hist"}
+	for i := range snap {
+		if snap[i].Name != wantNames[i] || snap[i].Kind != wantKinds[i] {
+			t.Errorf("sample %d = %s/%s, want %s/%s",
+				i, snap[i].Name, snap[i].Kind, wantNames[i], wantKinds[i])
+		}
+	}
+	if snap[3].Count != 1 || snap[3].Value != 10 {
+		t.Errorf("hist sample = count %d value %g, want 1, 10", snap[3].Count, snap[3].Value)
+	}
+}

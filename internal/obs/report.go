@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric naming conventions the simulators follow and Report renders:
+//
+//	<sim>.cost.<phase>         float: cost charged during <phase>; the
+//	                           top-level phases partition the run
+//	<sim>.cost.<phase>.<sub>   float: refinement of <phase>, shown
+//	                           indented, not added to the total
+//	<sim>.cost.total           float: the exact returned host cost
+//	<sim>.level.<k>.accesses   counter: word accesses at memory level k
+//	                           (addresses of bit-length k)
+//	<sim>.level.<k>.cost       float: access cost charged at level k
+//
+// Everything else under the <sim>. prefix is rendered as a plain
+// counter/gauge line or a histogram block.
+
+// simOrder fixes the display order of the known components; unknown
+// prefixes follow alphabetically.
+var simOrder = map[string]int{"dbsp": 0, "hmm": 1, "bt": 2, "self": 3}
+
+// Report renders the registry as a per-component, per-phase and
+// per-level cost breakdown. It is pure presentation: every number comes
+// from the registry.
+func Report(r *Registry) string {
+	samples := r.Snapshot()
+	if len(samples) == 0 {
+		return "(no metrics recorded)\n"
+	}
+	groups := make(map[string][]Sample)
+	var sims []string
+	for _, s := range samples {
+		sim := s.Name
+		if i := strings.IndexByte(sim, '.'); i >= 0 {
+			sim = sim[:i]
+		}
+		if _, ok := groups[sim]; !ok {
+			sims = append(sims, sim)
+		}
+		groups[sim] = append(groups[sim], s)
+	}
+	sort.Slice(sims, func(i, j int) bool {
+		oi, iOK := simOrder[sims[i]]
+		oj, jOK := simOrder[sims[j]]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return sims[i] < sims[j]
+		}
+	})
+
+	var b strings.Builder
+	for _, sim := range sims {
+		fmt.Fprintf(&b, "== %s ==\n", sim)
+		renderGroup(&b, sim, groups[sim])
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+type phaseRow struct {
+	name string
+	cost float64
+	subs []phaseRow
+}
+
+// renderGroup renders one component's metrics.
+func renderGroup(b *strings.Builder, sim string, samples []Sample) {
+	var (
+		phases   []phaseRow
+		total    float64
+		hasTotal bool
+		levels   = map[int]*[2]float64{} // level -> {accesses, cost}
+		hists    []Sample
+		plain    []Sample
+	)
+	phaseIdx := map[string]int{}
+	var subs []phaseRow
+
+	for _, s := range samples {
+		rest := strings.TrimPrefix(s.Name, sim+".")
+		switch {
+		case rest == "cost.total":
+			total, hasTotal = s.Value, true
+		case strings.HasPrefix(rest, "cost."):
+			name := rest[len("cost."):]
+			if i := strings.IndexByte(name, '.'); i >= 0 {
+				subs = append(subs, phaseRow{name: name, cost: s.Value})
+			} else {
+				phaseIdx[name] = len(phases)
+				phases = append(phases, phaseRow{name: name, cost: s.Value})
+			}
+		case strings.HasPrefix(rest, "level."):
+			parts := strings.SplitN(rest[len("level."):], ".", 2)
+			if len(parts) == 2 {
+				if k, err := strconv.Atoi(parts[0]); err == nil {
+					e := levels[k]
+					if e == nil {
+						e = &[2]float64{}
+						levels[k] = e
+					}
+					switch parts[1] {
+					case "accesses":
+						e[0] = s.Value
+					case "cost":
+						e[1] = s.Value
+					}
+					continue
+				}
+			}
+			plain = append(plain, s)
+		case s.Kind == "hist":
+			hists = append(hists, s)
+		default:
+			plain = append(plain, s)
+		}
+	}
+	// Attach sub-phases to their parents.
+	for _, sub := range subs {
+		parent := sub.name[:strings.IndexByte(sub.name, '.')]
+		if i, ok := phaseIdx[parent]; ok {
+			phases[i].subs = append(phases[i].subs, sub)
+		} else {
+			phases = append(phases, sub) // orphan: show flat
+		}
+	}
+
+	if len(phases) > 0 || hasTotal {
+		var attributed float64
+		for _, p := range phases {
+			attributed += p.cost
+		}
+		if !hasTotal {
+			total = attributed
+		}
+		fmt.Fprintf(b, "  %-24s %14s %8s\n", "phase", "cost", "share")
+		for _, p := range phases {
+			fmt.Fprintf(b, "  %-24s %14.6g %7.1f%%\n", p.name, p.cost, share(p.cost, total))
+			for _, sub := range p.subs {
+				fmt.Fprintf(b, "    %-22s %14.6g %7.1f%%\n", sub.name, sub.cost, share(sub.cost, total))
+			}
+		}
+		if hasTotal {
+			// Suppress pure float-summation noise: phase deltas are
+			// accumulated in a different order than the machine's running
+			// total, so exact zero is not attainable.
+			resid := total - attributed
+			noise := 1e-9 * total
+			if noise < 0 {
+				noise = -noise
+			}
+			if resid > noise || resid < -noise {
+				fmt.Fprintf(b, "  %-24s %14.6g %7.1f%%\n", "(unattributed)", resid, share(resid, total))
+			}
+			fmt.Fprintf(b, "  %-24s %14.6g %7.1f%%\n", "total", total, 100.0)
+		}
+	}
+
+	if len(levels) > 0 {
+		ks := make([]int, 0, len(levels))
+		for k := range levels {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		fmt.Fprintf(b, "  %-7s %-22s %14s %14s\n", "level", "addresses", "accesses", "cost")
+		for _, k := range ks {
+			e := levels[k]
+			lo, hi := BucketRange(k)
+			rng := fmt.Sprintf("[%d,%d)", lo, hi)
+			if k == 0 {
+				rng = "{0}"
+			}
+			fmt.Fprintf(b, "  %-7d %-22s %14.0f %14.6g\n", k, rng, e[0], e[1])
+		}
+	}
+
+	for _, h := range hists {
+		fmt.Fprintf(b, "  %s: count=%d sum=%.0f\n", h.Name, h.Count, h.Value)
+		var max int64 = 1
+		for _, n := range h.Buckets {
+			if n > max {
+				max = n
+			}
+		}
+		for k, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			lo, hi := BucketRange(k)
+			rng := fmt.Sprintf("[%d,%d)", lo, hi)
+			if k == 0 {
+				rng = "{0}"
+			}
+			fmt.Fprintf(b, "    %-20s %12d  %s\n", rng, n, strings.Repeat("#", int(30*n/max)))
+		}
+	}
+
+	if len(plain) > 0 {
+		for _, s := range plain {
+			switch s.Kind {
+			case "float":
+				fmt.Fprintf(b, "  %s = %.6g\n", s.Name, s.Value)
+			default:
+				fmt.Fprintf(b, "  %s = %.0f\n", s.Name, s.Value)
+			}
+		}
+	}
+}
+
+func share(x, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * x / total
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportPhasesLevelsAndResidual(t *testing.T) {
+	reg := NewRegistry()
+	reg.FloatCounter("hmm.cost.compute").Add(60)
+	reg.FloatCounter("hmm.cost.deliver").Add(30)
+	reg.FloatCounter("hmm.cost.swap").Add(9)
+	reg.FloatCounter("hmm.cost.total").Set(100) // 1 unattributed
+	reg.Counter("hmm.level.0.accesses").Add(5)
+	reg.FloatCounter("hmm.level.0.cost").Add(5)
+	reg.Counter("hmm.level.4.accesses").Add(2)
+	reg.FloatCounter("hmm.level.4.cost").Add(7)
+	reg.Counter("hmm.rounds").Add(12)
+	reg.FloatCounter("bt.cost.deliver").Add(10)
+	reg.FloatCounter("bt.cost.deliver.sort").Add(4) // sub-phase: indented, not summed
+	reg.FloatCounter("bt.cost.total").Set(10)
+	reg.Histogram("bt.blocks.words").Observe(16)
+
+	out := Report(reg)
+	for _, want := range []string{
+		"== hmm ==",
+		"== bt ==",
+		"compute",
+		"(unattributed)",
+		"total",
+		"level",
+		"[8,16)", // level 4 address range
+		"hmm.rounds = 12",
+		"deliver.sort",
+		"bt.blocks.words: count=1 sum=16",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// hmm comes before bt (component order, not alphabetical).
+	if strings.Index(out, "== hmm ==") > strings.Index(out, "== bt ==") {
+		t.Error("hmm section must precede bt section")
+	}
+	// The sub-phase must not be counted into the total: residual of bt
+	// is 0 so no unattributed row in the bt section.
+	btSection := out[strings.Index(out, "== bt =="):]
+	if strings.Contains(btSection, "(unattributed)") {
+		t.Errorf("bt sub-phase was double-counted:\n%s", btSection)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	if out := Report(NewRegistry()); !strings.Contains(out, "no metrics") {
+		t.Errorf("empty report = %q", out)
+	}
+	if out := Report(nil); !strings.Contains(out, "no metrics") {
+		t.Errorf("nil-registry report = %q", out)
+	}
+}

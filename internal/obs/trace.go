@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one structured trace record. The fixed field set keeps
+// emission allocation-free up to the sink (no maps, no interfaces);
+// Detail carries free-form payloads such as rendered memory layouts.
+type Event struct {
+	// Seq is a per-Observer sequence number, assigned at emission.
+	Seq int64 `json:"seq"`
+	// Sim identifies the emitting component: "dbsp", "hmm", "bt",
+	// "self", "memtrace", ...
+	Sim string `json:"sim,omitempty"`
+	// Kind names the event: "round", "superstep", "swap", "phase",
+	// "fig2.round", "fig4.layout", ...
+	Kind string `json:"kind"`
+	// Phase names a simulator phase for phase-scoped events.
+	Phase string `json:"phase,omitempty"`
+	// Step and Label identify the guest superstep, when applicable.
+	Step  int `json:"step,omitempty"`
+	Label int `json:"label,omitempty"`
+	// Round is the simulator round number, when applicable.
+	Round int64 `json:"round,omitempty"`
+	// N is a generic count: messages routed, cluster blocks, ...
+	N int64 `json:"n,omitempty"`
+	// Cost is the charged model time attributed to the event.
+	Cost float64 `json:"cost,omitempty"`
+	// Detail is a free-form payload.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink consumes trace events. Emit must be safe for sequential use by
+// one goroutine; sinks used across goroutines synchronise internally.
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// NopSink discards every event. The zero value is ready to use.
+type NopSink struct{}
+
+// Emit discards the event.
+func (NopSink) Emit(Event) {}
+
+// Close is a no-op.
+func (NopSink) Close() error { return nil }
+
+// SinkFunc adapts a function to the Sink interface (Close no-ops).
+type SinkFunc func(Event)
+
+// Emit invokes the function.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Close is a no-op.
+func (f SinkFunc) Close() error { return nil }
+
+// RingSink keeps the last cap events in memory.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRingSink returns a ring buffer holding the last cap events
+// (cap >= 1).
+func NewRingSink(cap int) *RingSink {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RingSink{buf: make([]Event, cap)}
+}
+
+// Emit stores the event, evicting the oldest when full.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.wrapped {
+		s.dropped++
+	}
+	s.buf[s.next] = e
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.wrapped = true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the buffered events in arrival order.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wrapped {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Dropped returns how many events were evicted.
+func (s *RingSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close is a no-op.
+func (s *RingSink) Close() error { return nil }
+
+// JSONLSink writes one JSON object per event, newline-separated. Errors
+// are sticky: the first write/encode error stops further output and is
+// reported by Close (and Err).
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL writer. Close flushes; the
+// caller owns closing w itself if it is a file.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit writes the event as one JSONL line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(raw); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.WriteByte('\n')
+}
+
+// Err returns the sticky error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes the buffer and returns the sticky error.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// MultiSink fans every event out to all sinks.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+func (m multiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ParseJSONL decodes a JSONL event stream (the JSONLSink format), for
+// round-trip tests and offline tooling. Blank lines are skipped.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Observer bundles a metric registry and a trace sink. Every
+// instrumentation point accepts a possibly-nil *Observer: with a nil
+// observer (or nil Reg/Sink fields) the instrumented code degrades to
+// nil checks and no-op metric methods, keeping the disabled-path
+// overhead near zero.
+type Observer struct {
+	// Reg receives metrics; may be nil.
+	Reg *Registry
+	// Sink receives trace events; may be nil.
+	Sink Sink
+
+	seq atomic.Int64
+}
+
+// New returns an Observer over reg and sink (either may be nil).
+func New(reg *Registry, sink Sink) *Observer {
+	return &Observer{Reg: reg, Sink: sink}
+}
+
+// Counter resolves a counter, or nil when metrics are off.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// FloatCounter resolves a float counter, or nil when metrics are off.
+func (o *Observer) FloatCounter(name string) *FloatCounter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.FloatCounter(name)
+}
+
+// Gauge resolves a gauge, or nil when metrics are off.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name)
+}
+
+// Histogram resolves a histogram, or nil when metrics are off.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name)
+}
+
+// Tracing reports whether events reach a sink — instrumented code
+// guards per-event field construction behind it.
+func (o *Observer) Tracing() bool { return o != nil && o.Sink != nil }
+
+// Emit stamps the event with the next sequence number and forwards it
+// to the sink. No-op without a sink.
+func (o *Observer) Emit(e Event) {
+	if o == nil || o.Sink == nil {
+		return
+	}
+	e.Seq = o.seq.Add(1)
+	o.Sink.Emit(e)
+}
+
+// Close closes the sink, if any.
+func (o *Observer) Close() error {
+	if o == nil || o.Sink == nil {
+		return nil
+	}
+	return o.Sink.Close()
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	o := New(nil, sink)
+	in := []Event{
+		{Sim: "hmm", Kind: "round", Step: 3, Label: 2, Round: 17, N: 4, Cost: 12.5},
+		{Sim: "bt", Kind: "phase", Phase: "deliver.sort", Cost: 0.25},
+		{Sim: "memtrace", Kind: "fig4.layout", Phase: "UNPACK(0)", Detail: "P0 P1 __ __"},
+	}
+	for _, e := range in {
+		o.Emit(e)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	out, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip produced %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		want := in[i]
+		want.Seq = int64(i + 1) // Emit stamps sequence numbers
+		if !reflect.DeepEqual(out[i], want) {
+			t.Errorf("event %d = %+v, want %+v", i, out[i], want)
+		}
+	}
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	sink := NewJSONLSink(failWriter{})
+	for i := 0; i < 100; i++ { // enough to overflow the bufio buffer
+		sink.Emit(Event{Kind: "k", Detail: string(make([]byte, 2048))})
+	}
+	if sink.Err() == nil {
+		t.Fatal("expected sticky write error")
+	}
+	if sink.Close() == nil {
+		t.Fatal("Close must report the sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRingSinkWraps(t *testing.T) {
+	s := NewRingSink(3)
+	for i := 1; i <= 5; i++ {
+		s.Emit(Event{Round: int64(i)})
+	}
+	got := s.Events()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(got))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].Round != want {
+			t.Errorf("event %d round = %d, want %d", i, got[i].Round, want)
+		}
+	}
+	if s.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", s.Dropped())
+	}
+}
+
+func TestMultiAndFuncSinks(t *testing.T) {
+	var calls []string
+	a := SinkFunc(func(e Event) { calls = append(calls, "a:"+e.Kind) })
+	ring := NewRingSink(4)
+	m := MultiSink(a, ring)
+	m.Emit(Event{Kind: "x"})
+	m.Emit(Event{Kind: "y"})
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if len(calls) != 2 || calls[0] != "a:x" || calls[1] != "a:y" {
+		t.Errorf("func sink calls = %v", calls)
+	}
+	if got := len(ring.Events()); got != 2 {
+		t.Errorf("ring received %d events, want 2", got)
+	}
+}
+
+func TestObserverSequencing(t *testing.T) {
+	ring := NewRingSink(8)
+	o := New(NewRegistry(), ring)
+	o.Emit(Event{Kind: "a"})
+	o.Emit(Event{Kind: "b"})
+	ev := ring.Events()
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d,%d, want 1,2", ev[0].Seq, ev[1].Seq)
+	}
+	if !o.Tracing() {
+		t.Error("observer with sink must report tracing")
+	}
+	if New(NewRegistry(), nil).Tracing() {
+		t.Error("observer without sink must not report tracing")
+	}
+}
