@@ -1,0 +1,114 @@
+// Command dbsplint runs the repo's custom static-analysis suite
+// (internal/lint) over the module: the checks that keep the paper's
+// simulation discipline and the repo's load-bearing conventions
+// machine-enforced. Findings print one per line as
+//
+//	file:line: analyzer: message
+//
+// and any finding makes the command exit with status 1, so CI can gate
+// on it. Usage:
+//
+//	dbsplint [-list] ./...
+//
+// Patterns are directory trees: "./..." (or "dir/...") lints every
+// package under the directory; a plain directory lints that tree too.
+// Import paths are resolved against the enclosing module's go.mod.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// usageErr reports a flag-validation failure: the message, then the
+// flag usage, then exit status 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(flag.CommandLine.Output(), "dbsplint: %s\n\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// fatal reports a runtime failure and exits with status 1.
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dbsplint: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and the invariants they enforce")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		usageErr("no packages: run dbsplint ./...")
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal("%v", err)
+	}
+	modRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal("%v", err)
+	}
+	modPath, err := lint.ModulePath(modRoot)
+	if err != nil {
+		fatal("%v", err)
+	}
+	pkgs, err := lint.Load(modRoot, modPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// Resolve each pattern to an absolute directory prefix and keep the
+	// packages under any of them.
+	var roots []string
+	for _, arg := range flag.Args() {
+		dir := strings.TrimSuffix(arg, "...")
+		dir = strings.TrimSuffix(dir, string(filepath.Separator))
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if _, err := os.Stat(abs); err != nil {
+			usageErr("bad pattern %q: %v", arg, err)
+		}
+		roots = append(roots, abs)
+	}
+	var selected []*lint.Package
+	for _, pkg := range pkgs {
+		for _, root := range roots {
+			if pkg.Dir == root || strings.HasPrefix(pkg.Dir, root+string(filepath.Separator)) {
+				selected = append(selected, pkg)
+				break
+			}
+		}
+	}
+
+	findings := lint.Run(selected, analyzers)
+	for _, f := range findings {
+		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = f.Pos.Filename
+		}
+		fmt.Printf("%s:%d: %s: %s\n", rel, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if n := len(findings); n > 0 {
+		fatal("%d finding(s) in %d package(s)", n, len(selected))
+	}
+}

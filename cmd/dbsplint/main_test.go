@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// runSelf builds the dbsplint binary once and executes it in dir (go
+// run does not propagate the child's exit code, which the gate tests
+// assert on).
+func runSelf(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	buildOnce.Do(func() {
+		tmp, err := os.MkdirTemp("", "dbsplint-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(tmp, "dbsplint")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = os.ErrInvalid
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build: %v\n%s", buildErr, binPath)
+	}
+	cmd := exec.Command(binPath, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", binPath, args, err, out)
+	}
+	return string(out), code
+}
+
+// TestRepoLintsClean is the CI gate in miniature: dbsplint over the
+// repository's own module must exit 0 with no output.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	out, code := runSelf(t, "..", "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Errorf("repo not lint-clean (exit %d):\n%s", code, out)
+	}
+}
+
+// TestFixtureTreeFails: run against the deliberately bad fixture
+// module, dbsplint must report findings from every analyzer and exit 1.
+func TestFixtureTreeFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	out, code := runSelf(t, fixtures, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	for _, analyzer := range []string{"nilguard", "panicmsg", "laststep", "exitdiscipline", "obspartition"} {
+		if !strings.Contains(out, ": "+analyzer+": ") {
+			t.Errorf("no %s finding in output:\n%s", analyzer, out)
+		}
+	}
+	if !strings.Contains(out, "finding(s)") {
+		t.Errorf("no summary line:\n%s", out)
+	}
+}
+
+// TestNoArgsExitsTwo: a bad invocation prints usage and exits 2.
+func TestNoArgsExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	out, code := runSelf(t, ".")
+	if code != 2 {
+		t.Errorf("exit %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "dbsplint") {
+		t.Errorf("no usage text:\n%s", out)
+	}
+}
+
+// TestListFlag: -list names every analyzer.
+func TestListFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	out, code := runSelf(t, ".", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, analyzer := range []string{"nilguard", "panicmsg", "laststep", "exitdiscipline", "obspartition"} {
+		if !strings.Contains(out, analyzer) {
+			t.Errorf("-list missing %s:\n%s", analyzer, out)
+		}
+	}
+}

@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	dbsprun -prog sort -v 256 -g x^0.5 [-sim] [-metrics] [-trace-out f.jsonl] [-profile p]
+//	dbsprun -prog sort -v 256 -g x^0.5 [-sim] [-check] [-metrics] [-trace-out f.jsonl] [-profile p]
 //
 // Programs: rotate, bcast, prefix, matmul, fft, fftrec, sort, permute,
 // conv, reduce, stencil.
+//
+// With -check the native run is executed under the internal/invariant
+// debug checker, which validates after every superstep that delivery
+// conserved the message multiset, that no message left its cluster,
+// and that Transpose declarations match the actual traffic; violations
+// print to stderr and exit 1.
 //
 // With -metrics the run is instrumented through internal/obs: the
 // native engine and all three simulators (HMM, BT, and the Theorem 10
@@ -32,6 +38,7 @@ import (
 	"repro/internal/core/selfsim"
 	"repro/internal/cost"
 	"repro/internal/dbsp"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/progtest"
 	"repro/internal/theory"
@@ -93,6 +100,7 @@ func main() {
 	sim := flag.Bool("sim", false, "also simulate on HMM and BT hosts with f = g")
 	verbose := flag.Bool("steps", false, "print every superstep (default: summary by label)")
 	trace := flag.Bool("trace", false, "record every message and print the locality histogram")
+	check := flag.Bool("check", false, "validate per-superstep invariants (delivery, cluster discipline, transpose declarations)")
 	metrics := flag.Bool("metrics", false, "instrument the run and all three simulators; print the cost report")
 	vPrime := flag.Int("vprime", 0, "host processors for the self-simulation under -metrics (default v/4, min 1)")
 	traceOut := flag.String("trace-out", "", "write structured simulation events to this JSONL file")
@@ -174,13 +182,26 @@ func main() {
 
 	var res *dbsp.Result
 	var tr *dbsp.Trace
-	if *trace || o != nil {
+	var checker *invariant.Checker
+	switch {
+	case *check:
+		res, tr, checker, err = invariant.Run(prog, g, o)
+	case *trace || o != nil:
 		res, tr, err = dbsp.RunObserved(prog, g, o)
-	} else {
+	default:
 		res, err = dbsp.Run(prog, g)
 	}
 	if err != nil {
 		fatal("%v", err)
+	}
+	if checker != nil {
+		if vs := checker.Violations(); len(vs) > 0 {
+			for _, viol := range vs {
+				fmt.Fprintf(os.Stderr, "dbsprun: invariant violation: %s\n", viol)
+			}
+			fatal("%d invariant violation(s)", int64(len(vs))+checker.Truncated())
+		}
+		fmt.Printf("invariant check: %d supersteps clean\n\n", len(res.Steps))
 	}
 
 	fmt.Printf("program %s on D-BSP(v=%d, µ=%d, g=%s): %d supersteps\n\n",

@@ -120,6 +120,21 @@ func TestProfileFlag(t *testing.T) {
 	}
 }
 
+// TestCheckFlagClean: -check on a well-formed program (fft carries
+// real Transpose declarations) must report a clean run and exit 0.
+func TestCheckFlagClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out, code := runSelf(t, "-prog", "fft", "-v", "16", "-g", "log", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "invariant check:") || !strings.Contains(out, "clean") {
+		t.Errorf("no clean-check summary in output:\n%s", out)
+	}
+}
+
 // TestFlagValidationExitsTwo: every bad invocation must print the
 // usage text and exit 2 (not 1, not a panic).
 func TestFlagValidationExitsTwo(t *testing.T) {

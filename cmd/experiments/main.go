@@ -88,8 +88,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			fn, ok := experiments.Lookup(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
-				os.Exit(2)
+				usageErr("unknown id %q", id)
 			}
 			tables = append(tables, fn(*quick))
 		}
@@ -128,4 +127,12 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "experiments: %s\n", fmt.Sprintf(format, args...))
 	os.Exit(1)
+}
+
+// usageErr reports a flag-validation failure: the message, then the
+// flag usage, then exit status 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(flag.CommandLine.Output(), "experiments: %s\n\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

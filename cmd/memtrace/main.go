@@ -25,6 +25,20 @@ import (
 	"repro/internal/obs"
 )
 
+// usageErr reports a flag-validation failure: the message, then the
+// flag usage, then exit status 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(flag.CommandLine.Output(), "memtrace: %s\n\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// fatal reports a runtime failure and exits with status 1.
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "memtrace: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
 func main() {
 	fig := flag.Int("fig", 2, "figure to regenerate: 2 or 4")
 	v := flag.Int("v", 8, "number of processors (power of two)")
@@ -45,15 +59,13 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "memtrace:", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		defer f.Close()
 		js := obs.NewJSONLSink(f)
 		defer func() {
 			if err := js.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "memtrace:", err)
-				os.Exit(1)
+				fatal("%v", err)
 			}
 		}()
 		sink = obs.MultiSink(render, js)
@@ -66,8 +78,7 @@ func main() {
 	case 4:
 		figure4(*v, o)
 	default:
-		fmt.Fprintln(os.Stderr, "memtrace: -fig must be 2 or 4")
-		os.Exit(2)
+		usageErr("-fig must be 2 or 4, got %d", *fig)
 	}
 }
 
@@ -105,8 +116,7 @@ func figure2(v int, o *obs.Observer) {
 		},
 	}
 	if _, err := hmmsim.Simulate(prog, cost.Log{}, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "memtrace:", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 }
 

@@ -166,7 +166,6 @@ func genFFT(prog *dbsp.Program, L, sz, logn int, inv bool) {
 	fftTransposeStep(prog, L, m1, m2)
 }
 
-
 // fftRoot returns the primitive sz-th root (or its inverse) used by the
 // transform direction.
 func fftRoot(sz int, inv bool) Word {

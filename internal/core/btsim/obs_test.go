@@ -9,10 +9,6 @@ import (
 	"repro/internal/progtest"
 )
 
-// btPhases are the top-level cost phases that partition a run (the
-// deliver.* refinements overlap "deliver" and are excluded).
-var btPhases = []string{"pack", "compute", "deliver", "swap", "unpack"}
-
 // TestObservedCostAttribution is the acceptance check for the BT
 // simulator: the top-level phase costs partition the run, bt.cost.total
 // is EXACTLY the returned HostCost, and the machine-level counters
@@ -36,7 +32,7 @@ func TestObservedCostAttribution(t *testing.T) {
 	}
 
 	var sum float64
-	for _, ph := range btPhases {
+	for _, ph := range costPhases {
 		sum += reg.FloatCounter("bt.cost." + ph).Value()
 	}
 	if rel := (sum - res.HostCost) / res.HostCost; rel > 1e-9 || rel < -1e-9 {

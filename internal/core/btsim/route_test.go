@@ -34,7 +34,7 @@ func transposeProg(v, m1, m2 int) *dbsp.Program {
 			},
 			{Label: 0, Run: func(c *dbsp.Ctx) {
 				src, payload := c.Recv(0)
-				c.Store(1, payload*1000 + dbsp.Word(src))
+				c.Store(1, payload*1000+dbsp.Word(src))
 			}},
 		},
 	}

@@ -85,18 +85,18 @@ type Result struct {
 }
 
 type state struct {
-	prog   *dbsp.Program // smoothed
-	m      *bt.Machine
-	f      cost.Func
-	mu     int64
-	v      int
-	logv   int
-	layout dbsp.Layout
-	sNext  []int
-	procOf []int // procOf[logical block] = processor
-	posOf  []int // posOf[processor] = logical block
-	rounds int64
-	swaps  int64
+	prog      *dbsp.Program // smoothed
+	m         *bt.Machine
+	f         cost.Func
+	mu        int64
+	v         int
+	logv      int
+	layout    dbsp.Layout
+	sNext     []int
+	procOf    []int // procOf[logical block] = processor
+	posOf     []int // posOf[processor] = logical block
+	rounds    int64
+	swaps     int64
 	check     bool
 	noRoute   bool
 	directMax int64
@@ -156,10 +156,10 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 
 	st := &state{
 		prog: run, m: m, f: f, mu: mu, v: v, logv: dbsp.Log2(v),
-		layout: prog.Layout,
-		sNext:  make([]int, v),
-		procOf: make([]int, v),
-		posOf:  make([]int, v),
+		layout:    prog.Layout,
+		sNext:     make([]int, v),
+		procOf:    make([]int, v),
+		posOf:     make([]int, v),
 		check:     opts.CheckInvariants,
 		noRoute:   opts.DisableRouteDelivery,
 		directMax: directThreshold(opts.DirectDeliveryMaxBlocks),
@@ -294,6 +294,13 @@ func (st *state) shiftLeft(start, num, by int64) {
 	}
 }
 
+// costPhases is the declared cost partition of a BT simulation: the
+// plain-named bt.cost.<phase> windows partition bt.cost.total, while
+// dotted refinements (deliver.sort, ...) overlap their parent. The obs
+// test sums this list against HostCost and the obspartition analyzer
+// cross-checks it against the phase() call sites.
+var costPhases = []string{"pack", "compute", "deliver", "swap", "unpack"}
+
 // phase runs fn inside a cost window attributed to bt.cost.<name>.
 // Dotted names ("deliver.sort") are refinements of their parent phase
 // and overlap its window; plain names partition the total. With no
@@ -384,9 +391,9 @@ func (st *state) loop() error {
 func (st *state) swapTopWithSibling(r, csize int) {
 	n := int64(csize) * st.mu
 	s := unpackedBlock(r*csize) * st.mu
-	st.m.CopyRange(0, n, n)   // stash top into the buffer
-	st.m.CopyRange(s, 0, n)   // sibling to the top
-	st.m.CopyRange(n, s, n)   // stash to the sibling's home
+	st.m.CopyRange(0, n, n) // stash top into the buffer
+	st.m.CopyRange(s, 0, n) // sibling to the top
+	st.m.CopyRange(n, s, n) // stash to the sibling's home
 	for k := 0; k < csize; k++ {
 		a, b := k, r*csize+k
 		pa, pb := st.procOf[a], st.procOf[b]
@@ -418,7 +425,6 @@ func min64(a, b int64) int64 {
 	}
 	return b
 }
-
 
 // directThreshold resolves the Options.DirectDeliveryMaxBlocks setting.
 func directThreshold(opt int) int64 {

@@ -31,12 +31,14 @@ func TestObservedCostAttribution(t *testing.T) {
 		t.Errorf("hmm.cost.total = %v, want exactly HostCost = %v", got, res.HostCost)
 	}
 
-	// Phases partition the charged cost up to float rounding: every
-	// charged access happens inside the compute, deliver, or swap
-	// window (the initial context load is an uncharged Poke).
-	sum := reg.FloatCounter("hmm.cost.compute").Value() +
-		reg.FloatCounter("hmm.cost.deliver").Value() +
-		reg.FloatCounter("hmm.cost.swap").Value()
+	// The declared partition sums to the charged cost up to float
+	// rounding: every charged access happens inside one of the
+	// costPhases windows (the initial context load is an uncharged
+	// Poke).
+	var sum float64
+	for _, ph := range costPhases {
+		sum += reg.FloatCounter("hmm.cost." + ph).Value()
+	}
 	if rel := (sum - res.HostCost) / res.HostCost; rel > 1e-9 || rel < -1e-9 {
 		t.Errorf("phase sum %v vs HostCost %v (rel err %v)", sum, res.HostCost, rel)
 	}

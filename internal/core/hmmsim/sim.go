@@ -92,19 +92,19 @@ type Result struct {
 // tables (posOfProc/procOfBlock), which is bookkeeping of the
 // simulating program, not charged guest memory traffic.
 type state struct {
-	prog    *dbsp.Program // smoothed program
-	m       *hmm.Machine
-	mu      int64
-	v       int
-	sNext   []int // next superstep to simulate, per processor
-	posOf   []int // block index currently holding processor p's context
-	procOf  []int // processor whose context block b currently holds
-	rounds  int64
-	swaps   int64
-	check   bool
-	layout  dbsp.Layout
-	procOff int // global id of local processor 0
-	globalV int // machine size presented to handlers
+	prog     *dbsp.Program // smoothed program
+	m        *hmm.Machine
+	mu       int64
+	v        int
+	sNext    []int // next superstep to simulate, per processor
+	posOf    []int // block index currently holding processor p's context
+	procOf   []int // processor whose context block b currently holds
+	rounds   int64
+	swaps    int64
+	check    bool
+	layout   dbsp.Layout
+	procOff  int // global id of local processor 0
+	globalV  int // machine size presented to handlers
 	labelOff int
 	observer func(round int64, step, label int, procOfBlock []int)
 
@@ -225,6 +225,13 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 }
 
 // newState builds the scheduler state over an existing machine.
+// costPhases is the declared cost partition of an HMM simulation: the
+// top-level hmm.cost.<phase> counters sum to hmm.cost.total (the
+// initial context load is an uncharged Poke). The obs test sums this
+// list against HostCost and the obspartition analyzer cross-checks it
+// against the charges below.
+var costPhases = []string{"compute", "deliver", "swap"}
+
 func newState(m *hmm.Machine, run *dbsp.Program, layout dbsp.Layout, opts *Options) *state {
 	globalV := opts.GlobalV
 	if globalV == 0 {
@@ -232,13 +239,13 @@ func newState(m *hmm.Machine, run *dbsp.Program, layout dbsp.Layout, opts *Optio
 	}
 	st := &state{
 		prog: run, m: m, mu: int64(layout.Mu()), v: run.V,
-		sNext:   make([]int, run.V),
-		posOf:   make([]int, run.V),
-		procOf:  make([]int, run.V),
-		check:   opts.CheckInvariants,
-		layout:  layout,
-		procOff: opts.ProcOffset,
-		globalV: globalV,
+		sNext:    make([]int, run.V),
+		posOf:    make([]int, run.V),
+		procOf:   make([]int, run.V),
+		check:    opts.CheckInvariants,
+		layout:   layout,
+		procOff:  opts.ProcOffset,
+		globalV:  globalV,
 		labelOff: opts.LabelOffset,
 		observer: opts.Observer,
 	}

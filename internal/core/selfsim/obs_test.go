@@ -28,10 +28,10 @@ func TestObservedCostAttribution(t *testing.T) {
 	if got := reg.FloatCounter("self.cost.total").Value(); got != res.HostCost {
 		t.Errorf("self.cost.total = %v, want exactly HostCost = %v", got, res.HostCost)
 	}
-	sum := reg.FloatCounter("self.cost.local").Value() +
-		reg.FloatCounter("self.cost.compute").Value() +
-		reg.FloatCounter("self.cost.place").Value() +
-		reg.FloatCounter("self.cost.comm").Value()
+	var sum float64
+	for _, ph := range costPhases {
+		sum += reg.FloatCounter("self.cost." + ph).Value()
+	}
 	if rel := (sum - res.HostCost) / res.HostCost; rel > 1e-9 || rel < -1e-9 {
 		t.Errorf("phase sum %v vs HostCost %v (rel err %v)", sum, res.HostCost, rel)
 	}

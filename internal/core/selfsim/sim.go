@@ -138,6 +138,12 @@ func Simulate(prog *dbsp.Program, g cost.Func, vPrime int, opts *Options) (*Resu
 	return res, nil
 }
 
+// costPhases is the declared cost partition of a self-simulation: the
+// four self.cost.<phase> counters sum to self.cost.total. The obs test
+// sums this list against HostCost and the obspartition analyzer
+// cross-checks it against the charges in Simulate.
+var costPhases = []string{"local", "compute", "place", "comm"}
+
 type sim struct {
 	prog    *dbsp.Program
 	g       cost.Func

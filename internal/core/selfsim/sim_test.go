@@ -119,8 +119,8 @@ func TestBrentAnalogue(t *testing.T) {
 		}
 		prevRatio = ratio
 	}
-	norm0 := costs[0]                                      // v′ = v
-	normV := costs[len(costs)-1] / float64(v)              // v′ = 1
+	norm0 := costs[0]                         // v′ = v
+	normV := costs[len(costs)-1] / float64(v) // v′ = 1
 	if normV/norm0 > 12 || norm0/normV > 12 {
 		t.Errorf("Brent analogue: normalised endpoints differ too much: %g vs %g", norm0, normV)
 	}

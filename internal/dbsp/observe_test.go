@@ -28,6 +28,13 @@ func TestRunObservedPublishes(t *testing.T) {
 	if got := reg.FloatCounter("dbsp.cost.comm").Value(); got != res.CommCost() {
 		t.Errorf("dbsp.cost.comm = %v, want %v", got, res.CommCost())
 	}
+	var sum float64
+	for _, ph := range costPhases {
+		sum += reg.FloatCounter("dbsp.cost." + ph).Value()
+	}
+	if rel := (sum - res.Cost) / res.Cost; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("phase sum %v vs Cost %v (rel err %v)", sum, res.Cost, rel)
+	}
 	if got := reg.Counter("dbsp.supersteps").Value(); got != int64(len(res.Steps)) {
 		t.Errorf("dbsp.supersteps = %d, want %d", got, len(res.Steps))
 	}

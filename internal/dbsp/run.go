@@ -79,8 +79,10 @@ func Run(prog *Program, g cost.Func) (*Result, error) {
 }
 
 // runStepHooked executes one superstep: handlers in parallel, an
-// optional pre-delivery observer, then delivery.
-func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func()) (StepCost, error) {
+// optional pre-delivery observer, then delivery. verify controls the
+// engine-side Transpose declaration check; RunInspected disables it so
+// an inspector sees declaration violations instead of an engine error.
+func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func(), verify bool) (StepCost, error) {
 	sc := StepCost{Label: st.Label}
 	if st.Run == nil {
 		return sc, nil // dummy superstep: no computation, no messages
@@ -123,7 +125,7 @@ func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func()) (
 			sc.Tau = o
 		}
 	}
-	if st.Transpose != nil {
+	if verify && st.Transpose != nil {
 		if err := verifyTranspose(prog, ctxs, st); err != nil {
 			return sc, err
 		}

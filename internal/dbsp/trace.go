@@ -44,18 +44,14 @@ func RunTraced(prog *Program, g cost.Func) (*Result, *Trace, error) {
 // message volume, h-relation degrees, the computation/communication
 // cost split, and one "superstep" trace event per executed superstep.
 func RunObserved(prog *Program, g cost.Func, o *obs.Observer) (*Result, *Trace, error) {
-	tr := &Trace{V: prog.V}
-	res, err := runHooked(prog, g, func(step, label int, msgs []MessageTrace) {
-		tr.Steps = append(tr.Steps, StepTrace{Index: step, Label: label, Messages: msgs})
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	if o != nil {
-		publishRun(o, prog, res, tr)
-	}
-	return res, tr, nil
+	return RunInspected(prog, g, o, nil)
 }
+
+// costPhases is the declared cost partition of a native run: the
+// top-level dbsp.cost.<phase> counters sum to dbsp.cost.total. The
+// observe test sums this list against the total and the obspartition
+// analyzer cross-checks it against the charges in publishRun.
+var costPhases = []string{"compute", "comm"}
 
 // publishRun copies a finished native run's accounting into the
 // registry and emits per-superstep events. Totals are copied verbatim
@@ -160,6 +156,18 @@ func (t *Trace) FormatHistogram() string {
 // plain Run). The hook receives the outbox contents before delivery, in
 // the delivery order (ascending sender).
 func runHooked(prog *Program, g cost.Func, hook func(step, label int, msgs []MessageTrace)) (*Result, error) {
+	return runLoop(prog, g, hook, nil)
+}
+
+// runLoop is the shared engine loop: pre receives every executed
+// superstep's outbox snapshot before delivery, post receives the
+// contexts right after delivery (inboxes still hold the delivered
+// messages). The engine-side Transpose verification is skipped when
+// post is set — an inspector that wants to observe a corrupted route
+// end-to-end validates declarations itself.
+func runLoop(prog *Program, g cost.Func,
+	pre func(step, label int, msgs []MessageTrace),
+	post func(step int, st Superstep, ctxs [][]Word)) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,15 +178,18 @@ func runHooked(prog *Program, g cost.Func, hook func(step, label int, msgs []Mes
 	res := &Result{Contexts: ctxs}
 	for s, st := range prog.Steps {
 		var collect func()
-		if hook != nil && st.Run != nil {
+		if pre != nil && st.Run != nil {
 			step, label := s, st.Label
 			collect = func() {
-				hook(step, label, collectOutboxes(prog.Layout, ctxs))
+				pre(step, label, collectOutboxes(prog.Layout, ctxs))
 			}
 		}
-		sc, err := runStepHooked(prog, ctxs, st, collect)
+		sc, err := runStepHooked(prog, ctxs, st, collect, post == nil)
 		if err != nil {
 			return nil, fmt.Errorf("dbsp: program %q superstep %d: %w", prog.Name, s, err)
+		}
+		if post != nil && st.Run != nil {
+			post(s, st, ctxs)
 		}
 		sc.Cost = float64(sc.Tau) + float64(sc.H)*CommCost(g, prog.Mu(), prog.V, st.Label)
 		res.Steps = append(res.Steps, sc)

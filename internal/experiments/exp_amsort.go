@@ -44,7 +44,7 @@ func E16AMSort(quick bool) *Table {
 			}
 			amsort.Sort(m, p, data, scratch, hot, cold)
 			if !amsort.IsSorted(m, data, count, rec) {
-				panic("E16: output not sorted")
+				panic("experiments: E16 output not sorted")
 			}
 			pred := theory.AMSort(f, count*rec)
 			t.Rows = append(t.Rows, []string{

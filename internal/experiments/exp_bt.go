@@ -36,9 +36,7 @@ func E08Brent(quick bool) *Table {
 	prev := 0.0
 	for vp := v; vp >= 1; vp /= 2 {
 		res, err := selfsim.Simulate(prog, g1, vp, selfOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		ratio := "-"
 		if prev > 0 {
 			ratio = r(res.HostCost / prev)
@@ -72,16 +70,12 @@ func E09BTSim(quick bool) *Table {
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Descending(v)...)
 		flat, err := dbsp.Run(prog, cost.Const{C: 1})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		pred := theory.BTSimulation(v, prog.Mu(), float64(flat.TotalTau()), prog.Lambda(true))
 		var logCost float64
 		for _, f := range funcs {
 			res, err := btsim.Simulate(prog, f, btOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			if f.Name() == "log x" {
 				logCost = res.HostCost
 			}
@@ -117,13 +111,9 @@ func E10BTMatMul(quick bool) *Table {
 			side := 1 << uint(dbsp.Log2(n)/2)
 			prog := algos.MatMul(n, workload.Matrix(13, side, 4), workload.Matrix(14, side, 4))
 			sched, err := btsim.Simulate(prog, f, btOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			naive, err := btsim.SimulateNaive(prog, f)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(sched.HostCost),
 				r(sched.HostCost / theory.MatMulBT(n)),
@@ -172,13 +162,9 @@ func E11BTDFTChoice(quick bool) *Table {
 		nbfL, _ := dbsp.Run(bf, cost.Log{})
 		nrecL, _ := dbsp.Run(rec, cost.Log{})
 		sbf, err := btsim.Simulate(bf, f, btOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		srec, err := btsim.Simulate(rec, f, btOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		pred := theory.DFTButterflyBT(n) / (6 * theory.DFTRecursiveBT(n))
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n), g(nbfA.Cost), g(nrecA.Cost), g(nbfL.Cost), g(nrecL.Cost),
@@ -213,9 +199,7 @@ func E15Compute(quick bool) *Table {
 			// estimate.
 			reg := obs.NewRegistry()
 			res, err := btsim.Simulate(prog, f, &btsim.Options{Obs: obs.New(reg, nil)})
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			compute := reg.FloatCounter("bt.cost.compute").Value()
 			pred := float64(steps+1) * theory.ComputeOverhead(f, int64(prog.Mu()), int64(v))
 			t.Rows = append(t.Rows, []string{
@@ -248,13 +232,9 @@ func E17RouteDelivery(quick bool) *Table {
 		for _, n := range sizes {
 			prog := algos.DFTRecursive(n, workload.KeyFunc(62, n, 1<<20))
 			routed, err := btsim.Simulate(prog, f, btOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			sorted, err := btsim.Simulate(prog, f, &btsim.Options{DisableRouteDelivery: true, Obs: sharedObs})
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(routed.HostCost), g(sorted.HostCost),
 				r(sorted.HostCost / routed.HostCost),
@@ -286,13 +266,9 @@ func E18DirectDelivery(quick bool) *Table {
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
 		def, err := btsim.Simulate(prog, f, btOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		off, err := btsim.Simulate(prog, f, &btsim.Options{DirectDeliveryMaxBlocks: -1, Obs: sharedObs})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.Rows = append(t.Rows, []string{
 			f.Name(), fmt.Sprint(v), g(def.HostCost), g(off.HostCost),
 			r(off.HostCost / def.HostCost)})

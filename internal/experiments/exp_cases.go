@@ -35,13 +35,9 @@ func E05MatMul(quick bool) *Table {
 			side := 1 << uint(dbsp.Log2(n)/2)
 			prog := algos.MatMul(n, workload.Matrix(11, side, 4), workload.Matrix(12, side, 4))
 			native, err := dbsp.Run(prog, f)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			sim, err := hmmsim.Simulate(prog, f, hmmOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(native.Cost),
 				r(native.Cost / theory.MatMulDBSP(f, n)),
@@ -83,13 +79,9 @@ func E06DFT(quick bool) *Table {
 		for _, n := range sizes {
 			prog := c.prog(n)
 			native, err := dbsp.Run(prog, c.f)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			sim, err := hmmsim.Simulate(prog, c.f, hmmOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			t.Rows = append(t.Rows, []string{
 				c.name, c.f.Name(), fmt.Sprint(n), g(native.Cost),
 				r(native.Cost / theory.DFTDBSP(c.f, n)),
@@ -121,13 +113,9 @@ func E07Sort(quick bool) *Table {
 		for _, n := range sizes {
 			prog := algos.Sort(n, workload.KeyFunc(31, n, int64(4*n)))
 			native, err := dbsp.Run(prog, f)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			sim, err := hmmsim.Simulate(prog, f, hmmOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(native.Cost),
 				r(native.Cost / theory.SortDBSP(f, n)),

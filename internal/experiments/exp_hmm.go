@@ -33,17 +33,11 @@ func E03HMMSlowdown(quick bool) *Table {
 		for _, v := range vs {
 			prog := progtest.Rotate(v, progtest.Descending(v)...)
 			native, err := dbsp.Run(prog, f)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			res, err := hmmsim.Simulate(prog, f, hmmOpts())
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			flat, err := dbsp.Run(prog, cost.Const{C: 1})
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			pred := theory.HMMSimulation(f, v, prog.Mu(), float64(flat.TotalTau()), prog.Lambda(true))
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(v), g(native.Cost), g(res.HostCost),
@@ -74,13 +68,9 @@ func E04NaiveVsScheduled(quick bool) *Table {
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
 		sched, err := hmmsim.Simulate(prog, f, hmmOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		naive, err := hmmsim.SimulateNaive(prog, f)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.Rows = append(t.Rows, []string{
 			f.Name(), fmt.Sprint(v), g(sched.HostCost), g(naive.HostCost),
 			r(naive.HostCost / sched.HostCost)})
@@ -113,17 +103,11 @@ func E14SmoothingAblation(quick bool) *Table {
 		// legal and the identity set adds no dummies.
 		prog := progtest.Rotate(v, progtest.Descending(v)...)
 		def, err := hmmsim.Simulate(prog, f, hmmOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		ident, err := hmmsim.Simulate(prog, f, &hmmsim.Options{Labels: smooth.Identity(dbsp.Log2(v)), Obs: sharedObs})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		raw, err := hmmsim.Simulate(prog, f, &hmmsim.Options{DisableSmoothing: true, Obs: sharedObs})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.Rows = append(t.Rows, []string{
 			"descending/" + f.Name(), fmt.Sprint(v), g(def.HostCost), g(ident.HostCost), g(raw.HostCost),
 			r(def.HostCost / raw.HostCost)})
@@ -133,13 +117,9 @@ func E14SmoothingAblation(quick bool) *Table {
 		logv := dbsp.Log2(v)
 		saw := progtest.Rotate(v, logv-1, 0, logv-1, 0, logv-1, 0)
 		defS, err := hmmsim.Simulate(saw, f, hmmOpts())
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		identS, err := hmmsim.Simulate(saw, f, &hmmsim.Options{Labels: smooth.Identity(logv), Obs: sharedObs})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.Rows = append(t.Rows, []string{
 			"sawtooth/" + f.Name(), fmt.Sprint(v), g(defS.HostCost), g(identS.HostCost), "n/a",
 			r(defS.HostCost / identS.HostCost)})
@@ -179,9 +159,7 @@ func E19LabelSlack(quick bool) *Table {
 	}
 	for _, prog := range progs {
 		_, tr, err := dbsp.RunTraced(prog, cost.Const{C: 1})
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.Rows = append(t.Rows, []string{
 			prog.Name, fmt.Sprint(tr.Messages()), fmt.Sprintf("%.3f", tr.Slack())})
 	}
@@ -194,9 +172,7 @@ func E19LabelSlack(quick bool) *Table {
 		},
 	}
 	_, tr, err := dbsp.RunTraced(sloppy, cost.Const{C: 1})
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	t.Rows = append(t.Rows, []string{
 		sloppy.Name, fmt.Sprint(tr.Messages()), fmt.Sprintf("%.3f", tr.Slack())})
 	return t

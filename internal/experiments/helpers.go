@@ -60,3 +60,14 @@ func algosDFTRecursive(n int) *dbsp.Program {
 func algosSort(n int) *dbsp.Program {
 	return algos.Sort(n, workload.KeyFunc(75, n, int64(4*n)))
 }
+
+// must panics with the package prefix when err is non-nil. The
+// experiment generators run inside table builders with no error
+// channel: a failing simulation is a bug in the experiment setup, and
+// the prefixed panic satisfies the panicmsg discipline that bare
+// panic(err) would violate.
+func must(err error) {
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+}

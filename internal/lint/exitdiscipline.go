@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExitDiscipline enforces the CLI exit-status convention introduced
+// with the flag-validation work: commands under cmd/ report bad
+// invocations through a usageErr helper (message + flag usage + exit
+// status 2) and runtime failures through a fatal helper (message +
+// exit status 1). Direct os.Exit calls outside those helpers and any
+// log.Fatal* are findings — they bypass the message formatting, the
+// usage print, and the exit-code contract the CLI tests assert on.
+// Inside the helpers the code literal is pinned: usageErr exits 2,
+// fatal exits 1.
+var ExitDiscipline = &Analyzer{
+	Name: "exitdiscipline",
+	Doc:  "cmd/ packages must route process exits through the usageErr (2) and fatal (1) helpers",
+	Run:  runExitDiscipline,
+}
+
+func runExitDiscipline(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/cmd/") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		osName := importName(file, "os")
+		logName := importName(file, "log")
+		if osName == "" && logName == "" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkExits(pass, fn, osName, logName)
+		}
+	}
+}
+
+// exitHelpers maps the sanctioned helper names to the exit code each
+// must use.
+var exitHelpers = map[string]string{"usageErr": "2", "fatal": "1"}
+
+func checkExits(pass *Pass, fn *ast.FuncDecl, osName, logName string) {
+	wantCode := exitHelpers[fn.Name.Name]
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if logName != "" {
+			for _, sel := range []string{"Fatal", "Fatalf", "Fatalln"} {
+				if isPkgCall(call, logName, sel) {
+					pass.Reportf(call.Pos(),
+						"log.%s exits without the usage/exit-code discipline; use the fatal helper (exit 1) or usageErr (exit 2) instead", sel)
+					return true
+				}
+			}
+		}
+		if osName == "" || !isPkgCall(call, osName, "Exit") || len(call.Args) != 1 {
+			return true
+		}
+		code, isLit := intLit(call.Args[0])
+		if isLit && code == "0" {
+			return true // explicit success exit is always allowed
+		}
+		switch {
+		case wantCode == "":
+			pass.Reportf(call.Pos(),
+				"os.Exit outside the usageErr/fatal helpers; route flag-validation failures through usageErr (exit 2) and runtime failures through fatal (exit 1)")
+		case !isLit || code != wantCode:
+			pass.Reportf(call.Pos(),
+				"%s must exit with status %s, got os.Exit(%s)", fn.Name.Name, wantCode, exprText(call.Args[0], code, isLit))
+		}
+		return true
+	})
+}
+
+func exprText(e ast.Expr, lit string, isLit bool) string {
+	if isLit {
+		return lit
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "..."
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// goldenWant is the exact diagnostic set the fixture tree under
+// testdata/src must produce — one deliberately bad construct per
+// analyzer (plus compliant siblings that must stay silent). Any
+// analyzer regression shows up as a missing or changed line.
+var goldenWant = []string{
+	"cmd/badexit/main.go:13: exitdiscipline: log.Fatal exits without the usage/exit-code discipline; use the fatal helper (exit 1) or usageErr (exit 2) instead",
+	"cmd/badexit/main.go:16: exitdiscipline: os.Exit outside the usageErr/fatal helpers; route flag-validation failures through usageErr (exit 2) and runtime failures through fatal (exit 1)",
+	"cmd/badexit/main.go:25: exitdiscipline: usageErr must exit with status 2, got os.Exit(1)",
+	`internal/badpanic/badpanic.go:13: panicmsg: panic message "boom with no prefix" must start with the package prefix "badpanic: "`,
+	`internal/badpanic/badpanic.go:16: panicmsg: panic argument must be a "badpanic: "-prefixed message (string literal, "badpanic: " + ..., or fmt.Sprintf/Errorf with a prefixed format); got a value the linter cannot see a prefix in`,
+	`internal/badpanic/badpanic.go:19: panicmsg: panic message "other: wrong prefix %d" must start with the package prefix "badpanic: "`,
+	`internal/badsim/sim.go:7: obspartition: costPhases lists "stale" but the package never charges it; remove the stale entry or restore the counter`,
+	`internal/badsim/sim.go:18: obspartition: cost phase "comm" is charged but missing from costPhases; it would break the phases-partition-the-total invariant`,
+	"internal/nodecl/sim.go:11: obspartition: package nodecl charges cost phases but declares no costPhases partition (the obs tests sum the partition against <sim>.cost.total)",
+	"internal/obs/sink.go:11: nilguard: exported method (*Sink).Emit must begin with a nil-receiver guard (`if s == nil`) so disabled instrumentation stays free",
+	"internal/progs/progs.go:13: laststep: Program.Steps literal must end with a Label: 0 superstep (global barrier, paper Section 2); last superstep has Label: 2",
+}
+
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "fixture.example")
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	return pkgs
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	root, _ := filepath.Abs(filepath.Join("testdata", "src"))
+	findings := Run(loadFixtures(t), Analyzers())
+
+	var got []string
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fmt.Sprintf("%s:%d: %s: %s",
+			filepath.ToSlash(rel), f.Pos.Line, f.Analyzer, f.Message))
+	}
+
+	for i := 0; i < len(got) || i < len(goldenWant); i++ {
+		switch {
+		case i >= len(got):
+			t.Errorf("missing finding:\n  want %s", goldenWant[i])
+		case i >= len(goldenWant):
+			t.Errorf("unexpected finding:\n  got  %s", got[i])
+		case got[i] != goldenWant[i]:
+			t.Errorf("finding %d:\n  got  %s\n  want %s", i, got[i], goldenWant[i])
+		}
+	}
+}
+
+// TestGoldenEveryAnalyzerFires guards the fixture tree itself: each
+// analyzer must have at least one failing case, so removing an
+// analyzer (or silently breaking its Run) cannot pass the suite.
+func TestGoldenEveryAnalyzerFires(t *testing.T) {
+	pkgs := loadFixtures(t)
+	for _, a := range Analyzers() {
+		if n := len(Run(pkgs, []*Analyzer{a})); n == 0 {
+			t.Errorf("analyzer %s finds nothing in the fixture tree", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-hosting check: the repository's own
+// packages must produce zero findings, mirroring the CI gate.
+func TestRepoIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modpath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, modpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, Analyzers()) {
+		t.Errorf("repo finding: %s", f)
+	}
+}

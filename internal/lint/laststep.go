@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LastStep enforces the standing assumption of paper Section 2 that
+// every D-BSP program ends with a 0-superstep (a global barrier) — the
+// precondition of all three simulation schemes (dbsp.Program
+// documents it; the simulators reject programs that violate it at run
+// time). The analyzer checks it at the source level for every
+// dbsp.Program composite literal whose Steps field is itself a slice
+// literal: the final superstep literal must have Label 0 (explicitly,
+// or implicitly by omitting the field). Programs that build Steps
+// imperatively are covered by the runtime check instead.
+var LastStep = &Analyzer{
+	Name: "laststep",
+	Doc:  "dbsp.Program.Steps literals must end with a Label: 0 superstep",
+	Run:  runLastStep,
+}
+
+const dbspImportPath = "repro/internal/dbsp"
+
+func runLastStep(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		dbspName := importName(file, dbspImportPath)
+		inDbsp := pass.Pkg.Name == "dbsp" && dbspName == ""
+		if dbspName == "" && !inDbsp {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isNamedType(lit.Type, dbspName, "Program") {
+				return true
+			}
+			steps := fieldValue(lit, "Steps")
+			stepsLit, ok := steps.(*ast.CompositeLit)
+			if !ok || len(stepsLit.Elts) == 0 {
+				return true
+			}
+			last, ok := stepsLit.Elts[len(stepsLit.Elts)-1].(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			label := superstepLabel(last)
+			if label == nil {
+				return true // implicit or non-constant label: zero or unprovable
+			}
+			if v, ok := intLit(label); ok && v != "0" {
+				pass.Reportf(label.Pos(),
+					"Program.Steps literal must end with a Label: 0 superstep (global barrier, paper Section 2); last superstep has Label: %s", v)
+			}
+			return true
+		})
+	}
+}
+
+// isNamedType reports whether t denotes the named type pkgName.name
+// (or plain name when pkgName is "", i.e. inside the defining package),
+// through at most one pointer.
+func isNamedType(t ast.Expr, pkgName, name string) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return pkgName == "" && x.Name == name
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && pkgName != "" && id.Name == pkgName && x.Sel.Name == name
+	}
+	return false
+}
+
+// fieldValue returns the value of the named field in a keyed composite
+// literal, or nil.
+func fieldValue(lit *ast.CompositeLit, field string) ast.Expr {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// superstepLabel returns the Label expression of a Superstep composite
+// literal: the Label key's value in keyed form, the first element in
+// positional form, nil when absent (implicit zero).
+func superstepLabel(lit *ast.CompositeLit) ast.Expr {
+	if len(lit.Elts) == 0 {
+		return nil
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+		return fieldValue(lit, "Label")
+	}
+	return lit.Elts[0]
+}

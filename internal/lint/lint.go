@@ -1,0 +1,160 @@
+// Package lint is a stdlib-only static-analysis framework enforcing
+// the repo's simulation invariants: the conventions that the paper's
+// guarantees (Theorems 5, 10 and 12) and the test suite's invariants
+// lean on but that the compiler cannot check. Each Analyzer inspects
+// one convention; cmd/dbsplint runs the whole suite over the module
+// and fails CI on any finding.
+//
+// The framework is deliberately parse-only (go/ast + go/parser, no
+// go/types): every invariant here is a syntactic discipline — panic
+// message prefixes, guard statements, literal shapes, helper routing —
+// so full type information would buy nothing but a module-aware
+// importer. That keeps dbsplint dependency-free (go.mod has no
+// requirements) and fast enough to run on every push.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings ("nilguard", ...).
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Pkg is the package under inspection.
+	Pkg *Package
+	// findings accumulates reports across the whole run.
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	// Pos locates the finding (file, line, column).
+	Pos token.Position
+	// Analyzer names the reporting analyzer.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the finding in the canonical file:line: analyzer:
+// message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by file, line, then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &findings})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		fi, fj := findings[i], findings[j]
+		if fi.Pos.Filename != fj.Pos.Filename {
+			return fi.Pos.Filename < fj.Pos.Filename
+		}
+		if fi.Pos.Line != fj.Pos.Line {
+			return fi.Pos.Line < fj.Pos.Line
+		}
+		return fi.Analyzer < fj.Analyzer
+	})
+	return findings
+}
+
+// Analyzers returns the full suite in display order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NilGuard,
+		PanicMsg,
+		LastStep,
+		ExitDiscipline,
+		ObsPartition,
+	}
+}
+
+// importName returns the local name under which file imports path, or
+// "" when it does not. The default name is the last path segment.
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p := imp.Path.Value // quoted
+		if p != `"`+path+`"` {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := lastIndexByte(path, '/'); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// stringLit returns the unquoted value of a string literal expression,
+// if e is one.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || len(lit.Value) < 2 {
+		return "", false
+	}
+	// Interpreted and raw strings both keep their prefix verbatim for
+	// the characters the analyzers care about (no escapes in package
+	// prefixes or metric names).
+	return lit.Value[1 : len(lit.Value)-1], true
+}
+
+// intLit returns the value of a decimal integer literal expression.
+func intLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return "", false
+	}
+	return lit.Value, true
+}
+
+// isPkgCall reports whether call invokes sel from the package imported
+// under local name pkgName (e.g. os.Exit, fmt.Sprintf).
+func isPkgCall(call *ast.CallExpr, pkgName, sel string) bool {
+	s, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	return ok && id.Name == pkgName
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed package: the non-test files of one directory
+// grouped by package clause. Test files are excluded — the invariants
+// govern shipped code, and tests deliberately construct violations.
+type Package struct {
+	// Name is the package clause name.
+	Name string
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset positions the files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files, sorted by filename.
+	Files []*ast.File
+}
+
+// Load parses every non-test package under root, a module rooted at
+// import path modpath. Directories named testdata or vendor, and
+// hidden directories, are skipped — the same pruning the go tool
+// applies. Files that fail to parse abort the load: dbsplint runs
+// against code that must already build.
+func Load(root, modpath string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byKey := map[string]*Package{} // dir + "\x00" + pkgname
+	walkErr := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		dir := filepath.Dir(path)
+		key := dir + "\x00" + file.Name.Name
+		pkg := byKey[key]
+		if pkg == nil {
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			imp := modpath
+			if rel != "." {
+				imp = modpath + "/" + filepath.ToSlash(rel)
+			}
+			pkg = &Package{Name: file.Name.Name, Path: imp, Dir: dir, Fset: fset}
+			byKey[key] = pkg
+		}
+		pkg.Files = append(pkg.Files, file)
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	pkgs := make([]*Package, 0, len(byKey))
+	for _, pkg := range byKey {
+		sort.Slice(pkg.Files, func(i, j int) bool {
+			return fset.Position(pkg.Files[i].Pos()).Filename <
+				fset.Position(pkg.Files[j].Pos()).Filename
+		})
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		return pkgs[i].Name < pkgs[j].Name
+	})
+	return pkgs, nil
+}
+
+// ModulePath extracts the module path from the go.mod file in dir.
+func ModulePath(dir string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == "module" {
+			return strings.Trim(fields[1], `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NilGuard enforces the internal/obs convention that makes disabled
+// instrumentation free: every exported method with a pointer receiver
+// on an exported type must be safe to call on a nil receiver, so
+// instrumented hot paths pay only a nil check when observability is
+// off. A method satisfies the convention when it
+//
+//   - begins with a guard whose leading condition is <recv> == nil
+//     (possibly ||-extended: "if o == nil || o.Sink == nil { return }"),
+//   - is a single return whose expression short-circuits on the
+//     receiver ("return o != nil && ..."), or
+//   - is a single statement delegating to another method of the same
+//     receiver (which carries its own guard), or never uses the
+//     receiver at all.
+var NilGuard = &Analyzer{
+	Name: "nilguard",
+	Doc:  "exported pointer-receiver methods in internal/obs must begin with a nil-receiver guard",
+	Run:  runNilGuard,
+}
+
+func runNilGuard(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.Path, "internal/obs") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+				continue
+			}
+			if !fn.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, ptr := receiver(fn)
+			if !ptr || !ast.IsExported(typeName) {
+				continue
+			}
+			if recvName == "" || recvName == "_" || !usesIdent(fn.Body, recvName) {
+				continue // receiver never dereferenced: nil-safe as is
+			}
+			if hasNilGuard(fn.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fn.Pos(),
+				"exported method (*%s).%s must begin with a nil-receiver guard (`if %s == nil`) so disabled instrumentation stays free",
+				typeName, fn.Name.Name, recvName)
+		}
+	}
+}
+
+// receiver extracts the receiver name, base type name and pointer-ness
+// of a method declaration.
+func receiver(fn *ast.FuncDecl) (name, typeName string, ptr bool) {
+	f := fn.Recv.List[0]
+	if len(f.Names) == 1 {
+		name = f.Names[0].Name
+	}
+	t := f.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return name, typeName, ptr
+}
+
+// usesIdent reports whether the identifier name occurs anywhere in n.
+func usesIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasNilGuard reports whether body starts with an accepted guard form
+// for receiver recv.
+func hasNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return true // empty body: nothing to protect
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		// if recv == nil { ...; return } — the leading ||-operand must
+		// be the receiver nil test, and the guard must leave the method.
+		if condLeadsWithNilTest(first.Cond, recv, token.EQL) && endsInReturn(first.Body) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		// Single-statement method: return recv != nil && ... guards by
+		// short-circuit.
+		if len(body.List) == 1 && len(first.Results) == 1 &&
+			condLeadsWithNilTest(first.Results[0], recv, token.NEQ) {
+			return true
+		}
+		if len(body.List) == 1 && len(first.Results) == 1 && delegates(first.Results[0], recv) {
+			return true
+		}
+	case *ast.ExprStmt:
+		// Single-statement delegation: recv.Other(...), which guards.
+		if len(body.List) == 1 && delegates(first.X, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// condLeadsWithNilTest reports whether the leftmost operand of cond
+// (descending through the matching short-circuit operator: || for
+// == guards, && for != guards) is `recv <op> nil`.
+func condLeadsWithNilTest(cond ast.Expr, recv string, op token.Token) bool {
+	for {
+		b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if (op == token.EQL && b.Op == token.LOR) || (op == token.NEQ && b.Op == token.LAND) {
+			cond = b.X
+			continue
+		}
+		if b.Op != op {
+			return false
+		}
+		x, xOK := ast.Unparen(b.X).(*ast.Ident)
+		y, yOK := ast.Unparen(b.Y).(*ast.Ident)
+		return xOK && yOK && x.Name == recv && y.Name == "nil"
+	}
+}
+
+// endsInReturn reports whether the guard body's last statement leaves
+// the function.
+func endsInReturn(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// delegates reports whether e is a call on a method of recv
+// (recv.Method(...)), which inherits that method's guard.
+func delegates(e ast.Expr, recv string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recv
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ObsPartition enforces the cost-partition invariant of the
+// observability layer (internal/obs/report.go): the top-level
+// <sim>.cost.<phase> float counters a simulator charges must partition
+// the exact returned host cost — the obs tests assert Σ phases ==
+// <sim>.cost.total. A phase counter added in code but missing from the
+// package's declared partition (the package-level `costPhases` string
+// slice the tests sum over) would silently break that identity, so the
+// analyzer cross-checks the two:
+//
+//   - a package that charges top-level phase counters must declare
+//     costPhases;
+//   - every charged phase must be listed in costPhases;
+//   - every listed phase must be charged somewhere in the package
+//     (a stale entry would mask a dropped counter).
+//
+// Charges are FloatCounter("<sim>.cost.<phase>") resolutions (reads
+// via an immediate .Value() are exempt) and literal arguments to the
+// package's phase(...) cost-window helper. Sub-phases
+// (<sim>.cost.<phase>.<sub>) refine a parent and are exempt, as is the
+// verbatim-copied <sim>.cost.total.
+var ObsPartition = &Analyzer{
+	Name: "obspartition",
+	Doc:  "charged <sim>.cost.<phase> counters must match the package's declared costPhases partition",
+	Run:  runObsPartition,
+}
+
+func runObsPartition(pass *Pass) {
+	type site struct {
+		name string
+		pos  token.Pos
+	}
+	var charged []site
+	hasPhaseHelper := false
+
+	// A "<sim>.cost." + x concatenation marks the package as charging
+	// phases through a helper that takes the bare phase name.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || b.Op != token.ADD {
+				return true
+			}
+			if s, ok := stringLit(b.X); ok && strings.HasSuffix(s, ".cost.") && len(s) > len(".cost.") {
+				hasPhaseHelper = true
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		// Collect FloatCounter calls that are immediately read via
+		// .Value() — those are inspections, not charges.
+		valueReads := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Value" {
+				return true
+			}
+			if inner, ok := sel.X.(*ast.CallExpr); ok && isFloatCounterCall(inner) {
+				valueReads[inner] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFloatCounterCall(call) && !valueReads[call] && len(call.Args) == 1 {
+				if name, ok := stringLit(call.Args[0]); ok {
+					if phase, top := topLevelPhase(name); top {
+						charged = append(charged, site{phase, call.Args[0].Pos()})
+					}
+				}
+			}
+			if hasPhaseHelper && isPhaseCall(call) {
+				if name, ok := stringLit(call.Args[0]); ok && !strings.Contains(name, ".") {
+					charged = append(charged, site{name, call.Args[0].Pos()})
+				}
+			}
+			return true
+		})
+	}
+	if len(charged) == 0 {
+		return
+	}
+
+	declared, declPos, declNames := findCostPhases(pass.Pkg)
+	if declared == nil {
+		pass.Reportf(charged[0].pos,
+			"package %s charges cost phases but declares no costPhases partition (the obs tests sum the partition against <sim>.cost.total)",
+			pass.Pkg.Name)
+		return
+	}
+	seen := map[string]bool{}
+	for _, c := range charged {
+		seen[c.name] = true
+		if !declared[c.name] {
+			pass.Reportf(c.pos,
+				"cost phase %q is charged but missing from costPhases; it would break the phases-partition-the-total invariant", c.name)
+		}
+	}
+	for _, name := range declNames {
+		if !seen[name] {
+			pass.Reportf(declPos,
+				"costPhases lists %q but the package never charges it; remove the stale entry or restore the counter", name)
+		}
+	}
+}
+
+// topLevelPhase splits a metric name of the form <sim>.cost.<phase>
+// and reports whether it is a chargeable top-level phase (single
+// segment, not "total").
+func topLevelPhase(name string) (string, bool) {
+	i := strings.Index(name, ".cost.")
+	if i <= 0 {
+		return "", false
+	}
+	phase := name[i+len(".cost."):]
+	if phase == "" || phase == "total" || strings.Contains(phase, ".") {
+		return "", false
+	}
+	// The prefix must be a bare component name (no further dots).
+	if strings.Contains(name[:i], ".") {
+		return "", false
+	}
+	return phase, true
+}
+
+// isFloatCounterCall matches <expr>.FloatCounter(...) — the obs
+// Registry/Observer resolution method.
+func isFloatCounterCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "FloatCounter"
+}
+
+// isPhaseCall matches <expr>.phase(name, ...) or phase(name, ...), the
+// cost-window helper shape.
+func isPhaseCall(call *ast.CallExpr) bool {
+	if len(call.Args) < 1 {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "phase"
+	case *ast.Ident:
+		return fun.Name == "phase"
+	}
+	return false
+}
+
+// findCostPhases locates the package-level `costPhases` declaration
+// and returns its entries as a set, its position, and the entries in
+// order.
+func findCostPhases(pkg *Package) (map[string]bool, token.Pos, []string) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "costPhases" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					set := map[string]bool{}
+					var names []string
+					for _, elt := range lit.Elts {
+						if s, ok := stringLit(elt); ok {
+							set[s] = true
+							names = append(names, s)
+						}
+					}
+					return set, name.Pos(), names
+				}
+			}
+		}
+	}
+	return nil, token.NoPos, nil
+}

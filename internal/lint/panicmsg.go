@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PanicMsg enforces the panic-message convention of the internal
+// packages: model violations panic (they are caller bugs, not runtime
+// conditions), and every panic message identifies the failing layer
+// with a "<pkg>: " prefix so a guest-handler stack trace names the
+// component that rejected the operation. Bare panic(err) and
+// unprefixed literals are findings. The prefix must be statically
+// visible: a string literal, a "<pkg>: " + x concatenation, or a
+// fmt.Sprintf/fmt.Errorf whose format literal carries the prefix.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  "panics in internal/ must carry a \"<pkg>: \"-prefixed message",
+	Run:  runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	path := pass.Pkg.Path
+	if !strings.Contains(path, "/internal/") && !strings.HasPrefix(path, "internal/") {
+		return
+	}
+	prefix := pass.Pkg.Name + ": "
+	for _, file := range pass.Pkg.Files {
+		fmtName := importName(file, "fmt")
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			msg, known := leadingString(call.Args[0], fmtName)
+			switch {
+			case !known:
+				pass.Reportf(call.Pos(),
+					"panic argument must be a %q-prefixed message (string literal, %q + ..., or fmt.Sprintf/Errorf with a prefixed format); got a value the linter cannot see a prefix in",
+					prefix, prefix)
+			case !strings.HasPrefix(msg, prefix):
+				pass.Reportf(call.Pos(),
+					"panic message %q must start with the package prefix %q", msg, prefix)
+			}
+			return true
+		})
+	}
+}
+
+// leadingString resolves the statically-visible leading string of e:
+// the literal itself, the left edge of a + concatenation chain, or the
+// format literal of a fmt.Sprintf/fmt.Errorf call.
+func leadingString(e ast.Expr, fmtName string) (string, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.BasicLit:
+			if x.Kind != token.STRING {
+				return "", false
+			}
+			s, ok := stringLit(x)
+			return s, ok
+		case *ast.BinaryExpr:
+			if x.Op != token.ADD {
+				return "", false
+			}
+			e = x.X
+		case *ast.CallExpr:
+			if fmtName != "" && (isPkgCall(x, fmtName, "Sprintf") || isPkgCall(x, fmtName, "Errorf")) &&
+				len(x.Args) > 0 {
+				e = x.Args[0]
+				continue
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}

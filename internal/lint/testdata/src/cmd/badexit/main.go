@@ -1,0 +1,26 @@
+// Command badexit is a lint fixture for the exitdiscipline analyzer:
+// exits must route through the usageErr/fatal helpers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("no args allowed")
+	}
+	if len(os.Args) > 2 {
+		os.Exit(3)
+	}
+	usageErr("bad flags")
+	os.Exit(0)
+}
+
+// usageErr must exit 2 but exits 1: finding.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

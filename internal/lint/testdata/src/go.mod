@@ -1,0 +1,3 @@
+module fixture.example
+
+go 1.22

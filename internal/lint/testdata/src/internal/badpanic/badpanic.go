@@ -1,0 +1,22 @@
+// Package badpanic is a lint fixture for the panicmsg analyzer: panics
+// in internal packages must carry the "badpanic: " prefix.
+package badpanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Explode panics three wrong ways and one right way.
+func Explode(x int) {
+	if x == 1 {
+		panic("boom with no prefix")
+	}
+	if x == 2 {
+		panic(errors.New("bare error value"))
+	}
+	if x == 3 {
+		panic(fmt.Sprintf("other: wrong prefix %d", x))
+	}
+	panic("badpanic: correctly prefixed")
+}

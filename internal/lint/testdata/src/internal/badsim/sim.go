@@ -1,0 +1,21 @@
+// Package badsim is a lint fixture for the obspartition analyzer:
+// charged cost phases must match the declared costPhases partition.
+package badsim
+
+// costPhases lists "stale" which is never charged, while the package
+// charges "comm" without declaring it: two findings.
+var costPhases = []string{"compute", "stale"}
+
+// Registry is a minimal metric-resolver shape.
+type Registry struct{}
+
+// FloatCounter resolves a float counter by name.
+func (r *Registry) FloatCounter(name string) *float64 { return nil }
+
+// Charge touches the phase counters.
+func Charge(r *Registry) {
+	_ = r.FloatCounter("sim.cost.compute")
+	_ = r.FloatCounter("sim.cost.comm")
+	_ = r.FloatCounter("sim.cost.total")
+	_ = r.FloatCounter("sim.cost.compute.sub")
+}

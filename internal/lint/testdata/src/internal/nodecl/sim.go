@@ -1,0 +1,12 @@
+// Package nodecl is a lint fixture for the obspartition analyzer: a
+// package charging phase counters must declare costPhases.
+package nodecl
+
+type registry struct{}
+
+func (r *registry) FloatCounter(name string) *float64 { return nil }
+
+// Charge charges a phase with no costPhases declaration: finding.
+func Charge(r *registry) {
+	_ = r.FloatCounter("sim.cost.compute")
+}

@@ -1,0 +1,31 @@
+// Package obs is a lint fixture for the nilguard analyzer: exported
+// pointer-receiver methods must begin with a nil-receiver guard.
+package obs
+
+// Sink buffers events.
+type Sink struct {
+	events []string
+}
+
+// Emit is missing the nil-receiver guard: finding.
+func (s *Sink) Emit(e string) {
+	s.events = append(s.events, e)
+}
+
+// Len is guarded: no finding.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Close delegates to a guarded method: no finding.
+func (s *Sink) Close() { s.reset() }
+
+func (s *Sink) reset() {
+	if s == nil {
+		return
+	}
+	s.events = nil
+}

@@ -1,0 +1,25 @@
+// Package progs is a lint fixture for the laststep analyzer: Program
+// literals must end with a Label: 0 superstep.
+package progs
+
+import "repro/internal/dbsp"
+
+// Bad ends with a label-2 superstep: finding.
+var Bad = dbsp.Program{
+	Name: "bad",
+	V:    8,
+	Steps: []dbsp.Superstep{
+		{Label: 0},
+		{Label: 2},
+	},
+}
+
+// Good ends with a global barrier: no finding.
+var Good = dbsp.Program{
+	Name: "good",
+	V:    8,
+	Steps: []dbsp.Superstep{
+		{Label: 2},
+		{Label: 0},
+	},
+}

@@ -218,8 +218,11 @@ func (r *Registry) get(name string, mk func() any) any {
 	return m
 }
 
-func kindMismatch(name string, got any, want string) string {
-	return fmt.Sprintf("obs: metric %q registered as %T, requested as %s", name, got, want)
+// kindMismatch reports a metric name registered under two different
+// kinds — a caller bug, reported with the package-prefixed panic the
+// panicmsg analyzer requires.
+func kindMismatch(name string, got any, want string) {
+	panic(fmt.Sprintf("obs: metric %q registered as %T, requested as %s", name, got, want))
 }
 
 // Counter returns the counter registered under name.
@@ -230,7 +233,7 @@ func (r *Registry) Counter(name string) *Counter {
 	m := r.get(name, func() any { return &Counter{} })
 	c, ok := m.(*Counter)
 	if !ok {
-		panic(kindMismatch(name, m, "counter"))
+		kindMismatch(name, m, "counter")
 	}
 	return c
 }
@@ -243,7 +246,7 @@ func (r *Registry) FloatCounter(name string) *FloatCounter {
 	m := r.get(name, func() any { return &FloatCounter{} })
 	c, ok := m.(*FloatCounter)
 	if !ok {
-		panic(kindMismatch(name, m, "float counter"))
+		kindMismatch(name, m, "float counter")
 	}
 	return c
 }
@@ -256,7 +259,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	m := r.get(name, func() any { return &Gauge{} })
 	g, ok := m.(*Gauge)
 	if !ok {
-		panic(kindMismatch(name, m, "gauge"))
+		kindMismatch(name, m, "gauge")
 	}
 	return g
 }
@@ -269,7 +272,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	m := r.get(name, func() any { return &Histogram{} })
 	h, ok := m.(*Histogram)
 	if !ok {
-		panic(kindMismatch(name, m, "histogram"))
+		kindMismatch(name, m, "histogram")
 	}
 	return h
 }

@@ -79,8 +79,12 @@ func NewRingSink(cap int) *RingSink {
 	return &RingSink{buf: make([]Event, cap)}
 }
 
-// Emit stores the event, evicting the oldest when full.
+// Emit stores the event, evicting the oldest when full (no-op on a
+// nil sink).
 func (s *RingSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
 	if s.wrapped {
 		s.dropped++
@@ -94,8 +98,12 @@ func (s *RingSink) Emit(e Event) {
 	s.mu.Unlock()
 }
 
-// Events returns the buffered events in arrival order.
+// Events returns the buffered events in arrival order (nil on a nil
+// sink).
 func (s *RingSink) Events() []Event {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.wrapped {
@@ -107,8 +115,11 @@ func (s *RingSink) Events() []Event {
 	return out
 }
 
-// Dropped returns how many events were evicted.
+// Dropped returns how many events were evicted (0 on a nil sink).
 func (s *RingSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
@@ -132,8 +143,11 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{w: bufio.NewWriter(w)}
 }
 
-// Emit writes the event as one JSONL line.
+// Emit writes the event as one JSONL line (no-op on a nil sink).
 func (s *JSONLSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
@@ -151,15 +165,22 @@ func (s *JSONLSink) Emit(e Event) {
 	s.err = s.w.WriteByte('\n')
 }
 
-// Err returns the sticky error, if any.
+// Err returns the sticky error, if any (nil on a nil sink).
 func (s *JSONLSink) Err() error {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
 }
 
-// Close flushes the buffer and returns the sticky error.
+// Close flushes the buffer and returns the sticky error (no-op on a
+// nil sink).
 func (s *JSONLSink) Close() error {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {

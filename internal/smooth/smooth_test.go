@@ -32,9 +32,9 @@ func TestValidateLabels(t *testing.T) {
 		t.Errorf("valid set rejected: %v", err)
 	}
 	bad := [][]int{
-		{},        // empty
-		{1, 4},    // doesn't start at 0
-		{0, 3},    // doesn't end at log v
+		{},           // empty
+		{1, 4},       // doesn't start at 0
+		{0, 3},       // doesn't end at log v
 		{0, 2, 2, 4}, // not strictly increasing
 	}
 	for i, ls := range bad {

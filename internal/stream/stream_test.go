@@ -222,7 +222,6 @@ func TestReaderWriterProperty(t *testing.T) {
 	}
 }
 
-
 // hotcold2 lays out two cascades: hots first, colds after.
 func hotcold2(g *Geometry, k int64) (hot, cold int64) {
 	return k * g.HotWords(), 2*g.HotWords() + k*g.ColdWords()

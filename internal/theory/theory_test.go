@@ -9,7 +9,7 @@ import (
 
 func TestTouchBounds(t *testing.T) {
 	f := cost.Poly{Alpha: 0.5}
-	if got := TouchHMM(f, 1 << 16); math.Abs(got-float64(int64(1)<<16)*256) > 1 {
+	if got := TouchHMM(f, 1<<16); math.Abs(got-float64(int64(1)<<16)*256) > 1 {
 		t.Errorf("TouchHMM = %g", got)
 	}
 	// BT touching is asymptotically far below HMM touching.
