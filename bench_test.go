@@ -9,6 +9,7 @@ package repro
 // sweeps.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/algos"
@@ -19,8 +20,10 @@ import (
 	"repro/internal/core/selfsim"
 	"repro/internal/cost"
 	"repro/internal/dbsp"
+	"repro/internal/experiments"
 	"repro/internal/hmm"
 	"repro/internal/progtest"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -252,6 +255,33 @@ func BenchmarkNativeEngine(b *testing.B) {
 		if _, err := dbsp.Run(prog, alphaHalf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepEngine measures the experiment-sweep scheduler itself
+// (not a paper experiment): the full quick grid through the bounded
+// worker pool, serial vs GOMAXPROCS-wide, so regressions in dispatch or
+// outcome collection show up next to the simulator benchmarks.
+func BenchmarkSweepEngine(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			jobs := experiments.Jobs()
+			for i := 0; i < b.N; i++ {
+				outcomes, err := sweep.Run(context.Background(), jobs,
+					sweep.Options{Workers: workers, Quick: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outcomes) != len(jobs) {
+					b.Fatalf("%d outcomes for %d jobs", len(outcomes), len(jobs))
+				}
+			}
+			b.ReportMetric(float64(len(jobs))/float64(b.Elapsed().Seconds())*float64(b.N), "jobs/sec")
+		})
 	}
 }
 

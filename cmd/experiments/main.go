@@ -1,23 +1,37 @@
 // Command experiments regenerates every table of EXPERIMENTS.md: each
 // quantitative claim of the paper (Facts 1-2, Theorems 5/10/12,
 // Corollaries 6/11, Propositions 7-9, the Section 5.3 comparisons and
-// the substrate bounds) as a measured-vs-predicted table.
+// the substrate bounds) as a measured-vs-predicted table, run across a
+// bounded worker pool by the internal/sweep engine.
 //
 // Usage:
 //
-//	experiments [-quick] [-only E05[,E09,...]] [-metrics] [-trace-out F] [-profile P]
+//	experiments [-quick] [-run REGEXP] [-only E05[,E09,...]] [-workers N]
+//	            [-keep-going] [-timeout D] [-seed S] [-json] [-jsonl F]
+//	            [-metrics] [-trace-out F] [-profile P]
 //
-// -quick trims the parameter sweeps for a fast smoke run; -only selects
-// specific experiments by id. -metrics instruments every simulation the
-// tables run and appends the aggregate internal/obs report; -trace-out
-// streams the structured events to a JSONL file; -profile writes
-// P.cpu.pprof and P.heap.pprof.
+// -quick trims the parameter sweeps for a fast smoke run; -run selects
+// experiments whose id matches the regexp and -only by exact ids.
+// -workers bounds the worker pool (default GOMAXPROCS); tables, their
+// order and every measured value are byte-identical for any worker
+// count — per-job seeds derive from the base -seed and the experiment
+// id, never from scheduling. -keep-going runs the remaining experiments
+// after a failure instead of cancelling the sweep; -timeout bounds the
+// whole run. -json emits the tables as a JSON array; -jsonl streams one
+// sweep record per experiment (id, status, seed, wall-clock, captured
+// metrics) to a file. -metrics instruments every simulation the tables
+// run and appends the aggregate internal/obs report (including the
+// sweep engine's own throughput counters); -trace-out streams the
+// structured events to a JSONL file; -profile writes P.cpu.pprof and
+// P.heap.pprof. Timing goes to stderr so stdout stays deterministic.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -25,12 +39,19 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "trim parameter sweeps for a fast smoke run")
+	runPat := flag.String("run", "", "run only experiments whose id matches this regexp")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E05,E09)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	keepGoing := flag.Bool("keep-going", false, "run remaining experiments after a failure")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	seed := flag.Uint64("seed", 0, "base seed for the deterministic per-experiment workloads")
 	asJSON := flag.Bool("json", false, "emit the tables as a JSON array")
+	jsonlOut := flag.String("jsonl", "", "write one sweep record per experiment to this JSONL file")
 	metrics := flag.Bool("metrics", false, "instrument the simulations and append the aggregate metrics report")
 	traceOut := flag.String("trace-out", "", "write structured simulation events to this JSONL file")
 	profile := flag.String("profile", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
@@ -59,41 +80,74 @@ func main() {
 		}()
 	}
 
+	jobs := selectJobs(*runPat, *only)
+
 	var reg *obs.Registry
-	if *metrics || *traceOut != "" {
-		var sink obs.Sink
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
+	var sink *obs.JSONLSink
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		sink = obs.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Close(); err != nil {
 				fatal("%v", err)
 			}
-			defer f.Close()
-			js := obs.NewJSONLSink(f)
-			defer func() {
-				if err := js.Close(); err != nil {
-					fatal("%v", err)
-				}
-			}()
-			sink = js
+		}()
+	}
+	var engineObs *obs.Observer
+	if reg != nil || sink != nil {
+		if sink != nil {
+			engineObs = obs.New(reg, sink)
+		} else {
+			engineObs = obs.New(reg, nil)
 		}
-		reg = obs.NewRegistry()
-		experiments.SetObserver(obs.New(reg, sink))
-		defer experiments.SetObserver(nil)
 	}
 
-	var tables []*experiments.Table
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			id = strings.TrimSpace(id)
-			fn, ok := experiments.Lookup(id)
-			if !ok {
-				usageErr("unknown id %q", id)
-			}
-			tables = append(tables, fn(*quick))
+	outcomes, runErr := sweep.Run(ctx, jobs, sweep.Options{
+		Workers:   *workers,
+		KeepGoing: *keepGoing,
+		Quick:     *quick,
+		Seed:      *seed,
+		Metrics:   *metrics,
+		Obs:       engineObs,
+	})
+	wall := time.Since(start)
+
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err != nil {
+			fatal("%v", err)
 		}
-	} else {
-		tables = experiments.All(*quick)
+		err = sweep.WriteJSONL(f, outcomes)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	tables := make([]*experiments.Table, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Status != sweep.StatusOK {
+			fmt.Fprintf(os.Stderr, "experiments: %s %s: %v\n", o.ID, o.Status, o.Err)
+			continue
+		}
+		tables = append(tables, o.Value.(*experiments.Table))
 	}
 
 	if *asJSON {
@@ -109,19 +163,80 @@ func main() {
 			}
 		}
 		fmt.Println("\n]")
-		return
+	} else {
+		fmt.Printf("# Experiment tables (generated %s, %d experiments)\n\n",
+			time.Now().Format("2006-01-02"), len(tables))
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		if *metrics {
+			// Fold the per-experiment registries into the engine registry
+			// so one report covers the simulations and the sweep itself.
+			for _, o := range outcomes {
+				reg.Import(o.Metrics)
+			}
+			fmt.Println("# Aggregate simulation metrics (all experiment runs)")
+			fmt.Println()
+			fmt.Println(obs.Report(reg))
+		}
 	}
-	fmt.Printf("# Experiment tables (generated %s, %d experiments)\n\n",
-		time.Now().Format("2006-01-02"), len(tables))
-	for _, t := range tables {
-		fmt.Println(t.Render())
+	fmt.Fprintf(os.Stderr, "experiments: %d jobs on %d workers in %v\n",
+		len(outcomes), effectiveWorkers(*workers, len(jobs)), wall.Round(time.Millisecond))
+	if runErr != nil {
+		fatal("%v", runErr)
 	}
-	if *metrics {
-		fmt.Println("# Aggregate simulation metrics (all experiment runs)")
-		fmt.Println()
-		fmt.Println(obs.Report(reg))
+}
+
+// selectJobs filters the experiment grid by the -run regexp and the
+// -only id list (both optional, both validated).
+func selectJobs(runPat, only string) []sweep.Job {
+	jobs := experiments.Jobs()
+	if runPat != "" {
+		re, err := regexp.Compile(runPat)
+		if err != nil {
+			usageErr("bad -run regexp: %v", err)
+		}
+		kept := jobs[:0]
+		for _, j := range jobs {
+			if re.MatchString(j.ID) {
+				kept = append(kept, j)
+			}
+		}
+		jobs = kept
 	}
-	fmt.Printf("Total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.Lookup(id); !ok {
+				usageErr("unknown id %q", id)
+			}
+			want[id] = true
+		}
+		kept := jobs[:0]
+		for _, j := range jobs {
+			if want[j.ID] {
+				kept = append(kept, j)
+			}
+		}
+		jobs = kept
+	}
+	if len(jobs) == 0 {
+		usageErr("no experiments match -run %q -only %q", runPat, only)
+	}
+	return jobs
+}
+
+// effectiveWorkers mirrors the engine's pool sizing for the stderr
+// summary line.
+func effectiveWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	return workers
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// runSelf builds the experiments binary once and executes it (go run
+// does not propagate the child's exit code, which the error-path tests
+// assert on). Stdout and stderr are returned separately: the output
+// contract covers stdout only.
+func runSelf(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "experiments-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "experiments")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = os.ErrInvalid
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build: %v\n%s", buildErr, binPath)
+	}
+	cmd := exec.Command(binPath, args...)
+	var outBuf, errBuf strings.Builder
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", binPath, args, err, errBuf.String())
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// The engine's central promise at the CLI boundary: stdout is
+// byte-identical whatever the worker count, in both output formats.
+func TestOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	sel := "-run=E0[1-3]"
+	mdRef, _, code := runSelf(t, "-quick", sel, "-workers=1")
+	if code != 0 {
+		t.Fatalf("workers=1 exited %d", code)
+	}
+	jsonRef, _, code := runSelf(t, "-quick", sel, "-workers=1", "-json")
+	if code != 0 {
+		t.Fatalf("workers=1 -json exited %d", code)
+	}
+	for _, w := range []string{"-workers=2", "-workers=7", "-workers=0"} {
+		md, _, code := runSelf(t, "-quick", sel, w)
+		if code != 0 || md != mdRef {
+			t.Errorf("%s: markdown diverges from serial run (exit %d)", w, code)
+		}
+		js, _, code := runSelf(t, "-quick", sel, w, "-json")
+		if code != 0 || js != jsonRef {
+			t.Errorf("%s: JSON diverges from serial run (exit %d)", w, code)
+		}
+	}
+}
+
+// -run filters by regexp; -only by exact id; both compose.
+func TestRunAndOnlyFiltering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	out, _, code := runSelf(t, "-quick", "-run=E0[12]$")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "## E01") || !strings.Contains(out, "## E02") {
+		t.Error("E01/E02 missing from -run output")
+	}
+	if strings.Contains(out, "## E03") {
+		t.Error("-run matched too much")
+	}
+	out, _, code = runSelf(t, "-quick", "-run=E0", "-only=E05")
+	if code != 0 || !strings.Contains(out, "## E05") || strings.Contains(out, "## E01") {
+		t.Errorf("-run+-only composition wrong (exit %d)", code)
+	}
+}
+
+// Flag-validation failures exit 2 with usage.
+func TestUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	cases := [][]string{
+		{"-run=["},
+		{"-only=E99"},
+		{"-run=NOPE"},
+	}
+	for _, args := range cases {
+		_, stderr, code := runSelf(t, append([]string{"-quick"}, args...)...)
+		if code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-workers") {
+			t.Errorf("%v: no usage text on stderr", args)
+		}
+	}
+}
+
+// -jsonl writes one stable-ordered record per experiment.
+func TestJSONLRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	_, _, code := runSelf(t, "-quick", "-run=E0[1-4]", "-workers=3", "-metrics", "-jsonl", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := sweep.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"E01", "E02", "E03", "E04"}
+	if len(recs) != len(wantIDs) {
+		t.Fatalf("%d records, want %d", len(recs), len(wantIDs))
+	}
+	for i, rec := range recs {
+		if rec.ID != wantIDs[i] || rec.Seq != i || rec.Status != "ok" {
+			t.Errorf("record %d = %s/%d/%s", i, rec.ID, rec.Seq, rec.Status)
+		}
+		if rec.Seed != sweep.SeedFor(0, rec.ID) {
+			t.Errorf("record %s seed = %d, want SeedFor", rec.ID, rec.Seed)
+		}
+		if len(rec.Value) == 0 {
+			t.Errorf("record %s has no table value", rec.ID)
+		}
+	}
+	// E03/E04 run HMM simulations, so with -metrics their records carry
+	// captured hmm.* samples.
+	var sawHMM bool
+	for _, m := range recs[2].Metrics {
+		if strings.HasPrefix(m.Name, "hmm.") {
+			sawHMM = true
+		}
+	}
+	if !sawHMM {
+		t.Error("E03 record captured no hmm.* metrics")
+	}
+}
+
+// -metrics appends the aggregate report including the sweep engine's
+// own throughput section.
+func TestMetricsReportIncludesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	out, _, code := runSelf(t, "-quick", "-run=E0[34]", "-workers=2", "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"== sweep ==", "sweep.jobs.started", "== hmm ==", "Aggregate simulation metrics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics report missing %q", want)
+		}
+	}
+}

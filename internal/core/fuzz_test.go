@@ -62,6 +62,58 @@ func TestRandomProgramEquivalence(t *testing.T) {
 	}
 }
 
+// FuzzEnginesAgree is the differential fuzz target across all four
+// execution paths: the fuzzer's bytes pick a machine size, step count,
+// message bound, generator seed, access function and self-simulation
+// target size; the derived random program must then produce
+// bit-identical final contexts on the native engine and on every
+// simulator. Any divergence — in memory contents or in which path
+// rejects the program — is a bug in a simulator's delivery or layout
+// translation.
+func FuzzEnginesAgree(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(1), uint64(1), uint8(0), uint8(1))
+	f.Add(uint8(5), uint8(9), uint8(2), uint64(42), uint8(1), uint8(5))
+	f.Add(uint8(0), uint8(0), uint8(3), uint64(7), uint8(2), uint8(0))
+	f.Add(uint8(4), uint8(6), uint8(1), uint64(1<<40), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, vRaw, stepsRaw, msgsRaw uint8, seed uint64, fRaw, vpRaw uint8) {
+		v := 1 << (vRaw % 6) // 1..32 processors
+		steps := int(stepsRaw % 10)
+		maxMsgs := 1 + int(msgsRaw%3)
+		prog := progtest.RandomProgram(progtest.RandomSpec{
+			V: v, Steps: steps, MaxMsgs: maxMsgs, Seed: seed,
+		})
+		af := []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}, cost.Const{C: 2}}[fRaw%3]
+		native, err := dbsp.Run(prog, af)
+		if err != nil {
+			t.Fatalf("%s native: %v", prog.Name, err)
+		}
+		h, err := OnHMM(prog, af)
+		if err != nil {
+			t.Fatalf("%s hmm(%s): %v", prog.Name, af.Name(), err)
+		}
+		b, err := OnBT(prog, af)
+		if err != nil {
+			t.Fatalf("%s bt(%s): %v", prog.Name, af.Name(), err)
+		}
+		vp := 1 << (int(vpRaw) % (dbsp.Log2(v) + 1))
+		s, err := OnDBSP(prog, af, vp)
+		if err != nil {
+			t.Fatalf("%s selfsim(v'=%d): %v", prog.Name, vp, err)
+		}
+		for p := range native.Contexts {
+			if !reflect.DeepEqual(native.Contexts[p], h.Contexts[p]) {
+				t.Fatalf("%s f=%s: HMM diverged at proc %d", prog.Name, af.Name(), p)
+			}
+			if !reflect.DeepEqual(native.Contexts[p], b.Contexts[p]) {
+				t.Fatalf("%s f=%s: BT diverged at proc %d", prog.Name, af.Name(), p)
+			}
+			if !reflect.DeepEqual(native.Contexts[p], s.Contexts[p]) {
+				t.Fatalf("%s f=%s v'=%d: selfsim diverged at proc %d", prog.Name, af.Name(), vp, p)
+			}
+		}
+	})
+}
+
 // Determinism of the generator itself: same spec, same program
 // behaviour.
 func TestRandomProgramDeterministic(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/amsort"
 	"repro/internal/bt"
 	"repro/internal/cost"
+	"repro/internal/sweep"
 	"repro/internal/theory"
 	"repro/internal/workload"
 )
@@ -14,9 +15,9 @@ import (
 // stand-in): sorting N record words costs O(N·log N·f*(N)) with
 // O(f(N)) extra buffer space — the engine behind the Theorem 12
 // delivery phase.
-func E16AMSort(quick bool) *Table {
+func E16AMSort(p sweep.Params) *Table {
 	counts := []int64{1 << 10, 1 << 13, 1 << 16}
-	if quick {
+	if p.Quick {
 		counts = counts[:2]
 	}
 	t := &Table{
@@ -31,25 +32,25 @@ func E16AMSort(quick bool) *Table {
 	const rec = 2
 	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
 		for _, count := range counts {
-			p := amsort.NewPlan(f, rec, count)
+			pl := amsort.NewPlan(f, rec, count)
 			hot := int64(0)
-			cold := p.HotWords()
-			data := cold + p.ColdWords()
+			cold := pl.HotWords()
+			data := cold + pl.ColdWords()
 			scratch := data + count*rec
 			m := bt.New(f, scratch+count*rec+8)
-			keys := workload.Keys(51, int(count), 10*count)
+			keys := workload.Keys(p.Seed+51, int(count), 10*count)
 			for i := int64(0); i < count; i++ {
 				m.Poke(data+i*rec, keys[i])
 				m.Poke(data+i*rec+1, i)
 			}
-			amsort.Sort(m, p, data, scratch, hot, cold)
+			amsort.Sort(m, pl, data, scratch, hot, cold)
 			if !amsort.IsSorted(m, data, count, rec) {
 				panic("experiments: E16 output not sorted")
 			}
 			pred := theory.AMSort(f, count*rec)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(count), g(m.Cost()), g(pred), r(m.Cost() / pred),
-				fmt.Sprint(p.ColdWords())})
+				fmt.Sprint(pl.ColdWords())})
 		}
 	}
 	return t

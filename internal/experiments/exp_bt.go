@@ -10,6 +10,7 @@ import (
 	"repro/internal/dbsp"
 	"repro/internal/obs"
 	"repro/internal/progtest"
+	"repro/internal/sweep"
 	"repro/internal/theory"
 	"repro/internal/workload"
 )
@@ -17,9 +18,9 @@ import (
 // E08Brent validates Theorem 10 / Corollary 11: simulating
 // D-BSP(v, µ, g) on D-BSP(v′, µv/v′, g) with HMM processor memories
 // slows down by Θ(v/v′).
-func E08Brent(quick bool) *Table {
+func E08Brent(p sweep.Params) *Table {
 	v := 256
-	if quick {
+	if p.Quick {
 		v = 64
 	}
 	t := &Table{
@@ -35,7 +36,7 @@ func E08Brent(quick bool) *Table {
 	prog := progtest.Rotate(v, progtest.Descending(v)...)
 	prev := 0.0
 	for vp := v; vp >= 1; vp /= 2 {
-		res, err := selfsim.Simulate(prog, g1, vp, selfOpts())
+		res, err := selfsim.Simulate(prog, g1, vp, selfOpts(p))
 		must(err)
 		ratio := "-"
 		if prev > 0 {
@@ -51,9 +52,9 @@ func E08Brent(quick bool) *Table {
 
 // E09BTSim validates Theorem 12: the D-BSP -> BT simulation costs
 // O(v·(τ + µ·Σ λ_i·log(µv/2^i))) — independent of the access function.
-func E09BTSim(quick bool) *Table {
+func E09BTSim(p sweep.Params) *Table {
 	vs := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		vs = vs[:2]
 	}
 	t := &Table{
@@ -74,7 +75,7 @@ func E09BTSim(quick bool) *Table {
 		pred := theory.BTSimulation(v, prog.Mu(), float64(flat.TotalTau()), prog.Lambda(true))
 		var logCost float64
 		for _, f := range funcs {
-			res, err := btsim.Simulate(prog, f, btOpts())
+			res, err := btsim.Simulate(prog, f, btOpts(p))
 			must(err)
 			if f.Name() == "log x" {
 				logCost = res.HostCost
@@ -91,9 +92,9 @@ func E09BTSim(quick bool) *Table {
 // the simulation of the Proposition 7 algorithm on f(x)-BT is the
 // optimal O(n^(3/2)), while the step-by-step baseline pays an extra
 // unbounded touching factor.
-func E10BTMatMul(quick bool) *Table {
+func E10BTMatMul(p sweep.Params) *Table {
 	sizes := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -109,8 +110,8 @@ func E10BTMatMul(quick bool) *Table {
 	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
 		for _, n := range sizes {
 			side := 1 << uint(dbsp.Log2(n)/2)
-			prog := algos.MatMul(n, workload.Matrix(13, side, 4), workload.Matrix(14, side, 4))
-			sched, err := btsim.Simulate(prog, f, btOpts())
+			prog := algos.MatMul(n, workload.Matrix(p.Seed+13, side, 4), workload.Matrix(p.Seed+14, side, 4))
+			sched, err := btsim.Simulate(prog, f, btOpts(p))
 			must(err)
 			naive, err := btsim.SimulateNaive(prog, f)
 			must(err)
@@ -129,9 +130,9 @@ func E10BTMatMul(quick bool) *Table {
 // O(n^α) on D-BSP(n, O(1), x^α) — so g = log x, which ranks them as
 // O(log² n) vs O(log n·log log n), is the effective bandwidth function
 // for targeting BT machines.
-func E11BTDFTChoice(quick bool) *Table {
+func E11BTDFTChoice(p sweep.Params) *Table {
 	sizes := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -154,16 +155,16 @@ func E11BTDFTChoice(quick bool) *Table {
 	}
 	f := cost.Poly{Alpha: 0.5}
 	for _, n := range sizes {
-		input := workload.KeyFunc(41, n, 1<<20)
+		input := workload.KeyFunc(p.Seed+41, n, 1<<20)
 		bf := algos.DFTButterfly(n, input)
 		rec := algos.DFTRecursive(n, input)
 		nbfA, _ := dbsp.Run(bf, f)
 		nrecA, _ := dbsp.Run(rec, f)
 		nbfL, _ := dbsp.Run(bf, cost.Log{})
 		nrecL, _ := dbsp.Run(rec, cost.Log{})
-		sbf, err := btsim.Simulate(bf, f, btOpts())
+		sbf, err := btsim.Simulate(bf, f, btOpts(p))
 		must(err)
-		srec, err := btsim.Simulate(rec, f, btOpts())
+		srec, err := btsim.Simulate(rec, f, btOpts(p))
 		must(err)
 		pred := theory.DFTButterflyBT(n) / (6 * theory.DFTRecursiveBT(n))
 		t.Rows = append(t.Rows, []string{
@@ -175,9 +176,9 @@ func E11BTDFTChoice(quick bool) *Table {
 
 // E15Compute validates the Section 5.2.1 COMPUTE bound: simulating
 // compute-only supersteps costs O(µ·n·c*(n)) beyond the raw work.
-func E15Compute(quick bool) *Table {
+func E15Compute(p sweep.Params) *Table {
 	vs := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		vs = vs[:2]
 	}
 	t := &Table{
@@ -213,9 +214,9 @@ func E15Compute(quick bool) *Table {
 // declared transposes by riffle routing (rational permutations) instead
 // of sorting, which the paper notes turns the recursive DFT simulation
 // into the optimal O(n·log n).
-func E17RouteDelivery(quick bool) *Table {
+func E17RouteDelivery(p sweep.Params) *Table {
 	sizes := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -230,10 +231,10 @@ func E17RouteDelivery(quick bool) *Table {
 	}
 	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
 		for _, n := range sizes {
-			prog := algos.DFTRecursive(n, workload.KeyFunc(62, n, 1<<20))
-			routed, err := btsim.Simulate(prog, f, btOpts())
+			prog := algos.DFTRecursive(n, workload.KeyFunc(p.Seed+62, n, 1<<20))
+			routed, err := btsim.Simulate(prog, f, btOpts(p))
 			must(err)
-			sorted, err := btsim.Simulate(prog, f, &btsim.Options{DisableRouteDelivery: true, Obs: sharedObs})
+			sorted, err := btsim.Simulate(prog, f, &btsim.Options{DisableRouteDelivery: true, Obs: p.Obs})
 			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(routed.HostCost), g(sorted.HostCost),
@@ -247,9 +248,9 @@ func E17RouteDelivery(quick bool) *Table {
 // E18DirectDelivery is the constant-threshold ablation: word-level
 // delivery for tiny clusters versus forcing every cluster through the
 // staging machinery, whose fixed footprint dwarfs small clusters.
-func E18DirectDelivery(quick bool) *Table {
+func E18DirectDelivery(p sweep.Params) *Table {
 	vs := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		vs = vs[:2]
 	}
 	t := &Table{
@@ -265,9 +266,9 @@ func E18DirectDelivery(quick bool) *Table {
 	f := cost.Poly{Alpha: 0.5}
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
-		def, err := btsim.Simulate(prog, f, btOpts())
+		def, err := btsim.Simulate(prog, f, btOpts(p))
 		must(err)
-		off, err := btsim.Simulate(prog, f, &btsim.Options{DirectDeliveryMaxBlocks: -1, Obs: sharedObs})
+		off, err := btsim.Simulate(prog, f, &btsim.Options{DirectDeliveryMaxBlocks: -1, Obs: p.Obs})
 		must(err)
 		t.Rows = append(t.Rows, []string{
 			f.Name(), fmt.Sprint(v), g(def.HostCost), g(off.HostCost),

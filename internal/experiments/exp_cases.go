@@ -7,6 +7,7 @@ import (
 	"repro/internal/core/hmmsim"
 	"repro/internal/cost"
 	"repro/internal/dbsp"
+	"repro/internal/sweep"
 	"repro/internal/theory"
 	"repro/internal/workload"
 )
@@ -15,9 +16,9 @@ import (
 // in O(n^α) / O(√n·log n) / O(√n) on D-BSP(n, O(1), x^α) depending on
 // α ≷ 1/2, and its HMM simulation matches the Θ(n·T_MM(n)) lower bound
 // of [1].
-func E05MatMul(quick bool) *Table {
+func E05MatMul(p sweep.Params) *Table {
 	sizes := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -33,10 +34,10 @@ func E05MatMul(quick bool) *Table {
 	for _, f := range funcs {
 		for _, n := range sizes {
 			side := 1 << uint(dbsp.Log2(n)/2)
-			prog := algos.MatMul(n, workload.Matrix(11, side, 4), workload.Matrix(12, side, 4))
+			prog := algos.MatMul(n, workload.Matrix(p.Seed+11, side, 4), workload.Matrix(p.Seed+12, side, 4))
 			native, err := dbsp.Run(prog, f)
 			must(err)
-			sim, err := hmmsim.Simulate(prog, f, hmmOpts())
+			sim, err := hmmsim.Simulate(prog, f, hmmOpts(p))
 			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(native.Cost),
@@ -51,9 +52,9 @@ func E05MatMul(quick bool) *Table {
 // on x^α, the recursive schedule O(log n·log log n) on log x, and the
 // HMM simulations match the best known bounds O(n^(1+α)) and
 // O(n·log n·log log n) of [1].
-func E06DFT(quick bool) *Table {
+func E06DFT(p sweep.Params) *Table {
 	sizes := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -69,7 +70,7 @@ func E06DFT(quick bool) *Table {
 		prog func(n int) *dbsp.Program
 		f    cost.Func
 	}
-	input := func(n int) func(p int) int64 { return workload.KeyFunc(21, n, 1<<20) }
+	input := func(n int) func(p int) int64 { return workload.KeyFunc(p.Seed+21, n, 1<<20) }
 	cfgs := []cfg{
 		{"butterfly", func(n int) *dbsp.Program { return algos.DFTButterfly(n, input(n)) }, cost.Poly{Alpha: 0.5}},
 		{"recursive", func(n int) *dbsp.Program { return algos.DFTRecursive(n, input(n)) }, cost.Log{}},
@@ -80,7 +81,7 @@ func E06DFT(quick bool) *Table {
 			prog := c.prog(n)
 			native, err := dbsp.Run(prog, c.f)
 			must(err)
-			sim, err := hmmsim.Simulate(prog, c.f, hmmOpts())
+			sim, err := hmmsim.Simulate(prog, c.f, hmmOpts(p))
 			must(err)
 			t.Rows = append(t.Rows, []string{
 				c.name, c.f.Name(), fmt.Sprint(n), g(native.Cost),
@@ -94,9 +95,9 @@ func E06DFT(quick bool) *Table {
 // E07Sort validates Proposition 9: n-sorting in O(n^α) on
 // D-BSP(n, O(1), x^α), whose simulation is the optimal Θ(n^(1+α)) on
 // the x^α-HMM.
-func E07Sort(quick bool) *Table {
+func E07Sort(p sweep.Params) *Table {
 	sizes := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -111,10 +112,10 @@ func E07Sort(quick bool) *Table {
 	}
 	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Poly{Alpha: 0.25}} {
 		for _, n := range sizes {
-			prog := algos.Sort(n, workload.KeyFunc(31, n, int64(4*n)))
+			prog := algos.Sort(n, workload.KeyFunc(p.Seed+31, n, int64(4*n)))
 			native, err := dbsp.Run(prog, f)
 			must(err)
-			sim, err := hmmsim.Simulate(prog, f, hmmOpts())
+			sim, err := hmmsim.Simulate(prog, f, hmmOpts(p))
 			must(err)
 			t.Rows = append(t.Rows, []string{
 				f.Name(), fmt.Sprint(n), g(native.Cost),

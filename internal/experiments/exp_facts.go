@@ -6,15 +6,16 @@ import (
 	"repro/internal/bt"
 	"repro/internal/cost"
 	"repro/internal/hmm"
+	"repro/internal/sweep"
 	"repro/internal/theory"
 )
 
 // E01TouchHMM validates Fact 1: touching the first n cells of an
 // f(x)-HMM costs Θ(n·f(n)). The measured/predicted ratio must stay
 // within constant factors across the sweep.
-func E01TouchHMM(quick bool) *Table {
+func E01TouchHMM(p sweep.Params) *Table {
 	sizes := []int64{1 << 10, 1 << 13, 1 << 16, 1 << 19}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{
@@ -39,9 +40,9 @@ func E01TouchHMM(quick bool) *Table {
 // E02TouchBT validates Fact 2: touching n cells of an f(x)-BT costs
 // Θ(n·f*(n)) — in particular Θ(n·log log n) for f = x^α and
 // Θ(n·log* n) for f = log x, far below the HMM's Θ(n·f(n)).
-func E02TouchBT(quick bool) *Table {
+func E02TouchBT(p sweep.Params) *Table {
 	sizes := []int64{1 << 10, 1 << 13, 1 << 16, 1 << 19}
-	if quick {
+	if p.Quick {
 		sizes = sizes[:2]
 	}
 	t := &Table{

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dbsp"
 	"repro/internal/progtest"
 	"repro/internal/smooth"
+	"repro/internal/sweep"
 	"repro/internal/theory"
 )
 
@@ -15,9 +16,9 @@ import (
 // fine-grained D-BSP(v, µ, f) program on an f(x)-HMM costs Θ(T·v) — a
 // slowdown merely linear in the loss of parallelism — and matches the
 // Theorem 5 formula v·(τ + µ·Σ λ_i·f(µv/2^i)).
-func E03HMMSlowdown(quick bool) *Table {
+func E03HMMSlowdown(p sweep.Params) *Table {
 	vs := []int{16, 64, 256, 1024}
-	if quick {
+	if p.Quick {
 		vs = vs[:2]
 	}
 	t := &Table{
@@ -34,7 +35,7 @@ func E03HMMSlowdown(quick bool) *Table {
 			prog := progtest.Rotate(v, progtest.Descending(v)...)
 			native, err := dbsp.Run(prog, f)
 			must(err)
-			res, err := hmmsim.Simulate(prog, f, hmmOpts())
+			res, err := hmmsim.Simulate(prog, f, hmmOpts(p))
 			must(err)
 			flat, err := dbsp.Run(prog, cost.Const{C: 1})
 			must(err)
@@ -51,9 +52,9 @@ func E03HMMSlowdown(quick bool) *Table {
 // depth-first cluster schedule versus the superstep-at-a-time baseline,
 // which pays f(µ·v) per superstep regardless of label (time ω(v) per
 // superstep for unbounded f).
-func E04NaiveVsScheduled(quick bool) *Table {
+func E04NaiveVsScheduled(p sweep.Params) *Table {
 	vs := []int{64, 256, 1024}
-	if quick {
+	if p.Quick {
 		vs = vs[:2]
 	}
 	t := &Table{
@@ -67,7 +68,7 @@ func E04NaiveVsScheduled(quick bool) *Table {
 	f := cost.Poly{Alpha: 0.5}
 	for _, v := range vs {
 		prog := progtest.Rotate(v, progtest.Fine(v, 12)...)
-		sched, err := hmmsim.Simulate(prog, f, hmmOpts())
+		sched, err := hmmsim.Simulate(prog, f, hmmOpts(p))
 		must(err)
 		naive, err := hmmsim.SimulateNaive(prog, f)
 		must(err)
@@ -81,9 +82,9 @@ func E04NaiveVsScheduled(quick bool) *Table {
 // E14SmoothingAblation compares the default Theorem 5 label set against
 // the identity label set (dummies only, no label bundling) and, where
 // legal, no smoothing at all.
-func E14SmoothingAblation(quick bool) *Table {
+func E14SmoothingAblation(p sweep.Params) *Table {
 	vs := []int{64, 256}
-	if quick {
+	if p.Quick {
 		vs = vs[:1]
 	}
 	t := &Table{
@@ -102,11 +103,11 @@ func E14SmoothingAblation(quick bool) *Table {
 		// Descending labels: already smooth, so the unsmoothed column is
 		// legal and the identity set adds no dummies.
 		prog := progtest.Rotate(v, progtest.Descending(v)...)
-		def, err := hmmsim.Simulate(prog, f, hmmOpts())
+		def, err := hmmsim.Simulate(prog, f, hmmOpts(p))
 		must(err)
-		ident, err := hmmsim.Simulate(prog, f, &hmmsim.Options{Labels: smooth.Identity(dbsp.Log2(v)), Obs: sharedObs})
+		ident, err := hmmsim.Simulate(prog, f, &hmmsim.Options{Labels: smooth.Identity(dbsp.Log2(v)), Obs: p.Obs})
 		must(err)
-		raw, err := hmmsim.Simulate(prog, f, &hmmsim.Options{DisableSmoothing: true, Obs: sharedObs})
+		raw, err := hmmsim.Simulate(prog, f, &hmmsim.Options{DisableSmoothing: true, Obs: p.Obs})
 		must(err)
 		t.Rows = append(t.Rows, []string{
 			"descending/" + f.Name(), fmt.Sprint(v), g(def.HostCost), g(ident.HostCost), g(raw.HostCost),
@@ -116,9 +117,9 @@ func E14SmoothingAblation(quick bool) *Table {
 		// unsmoothed) and the Theorem 5 bundling pays off most.
 		logv := dbsp.Log2(v)
 		saw := progtest.Rotate(v, logv-1, 0, logv-1, 0, logv-1, 0)
-		defS, err := hmmsim.Simulate(saw, f, hmmOpts())
+		defS, err := hmmsim.Simulate(saw, f, hmmOpts(p))
 		must(err)
-		identS, err := hmmsim.Simulate(saw, f, &hmmsim.Options{Labels: smooth.Identity(logv), Obs: sharedObs})
+		identS, err := hmmsim.Simulate(saw, f, &hmmsim.Options{Labels: smooth.Identity(logv), Obs: p.Obs})
 		must(err)
 		t.Rows = append(t.Rows, []string{
 			"sawtooth/" + f.Name(), fmt.Sprint(v), g(defS.HostCost), g(identS.HostCost), "n/a",
@@ -133,9 +134,9 @@ func E14SmoothingAblation(quick bool) *Table {
 // under. Zero slack means the program's labels expose every bit of
 // submachine locality its traffic admits — the property that makes the
 // Theorem 5/12 simulations optimal for these algorithms.
-func E19LabelSlack(quick bool) *Table {
+func E19LabelSlack(p sweep.Params) *Table {
 	v := 256
-	if quick {
+	if p.Quick {
 		v = 64
 	}
 	t := &Table{
@@ -152,10 +153,10 @@ func E19LabelSlack(quick bool) *Table {
 	}
 	side := 1 << uint(dbsp.Log2(v)/2)
 	progs := []*dbsp.Program{
-		algosMatMul(v, side),
-		algosDFTButterfly(v),
-		algosDFTRecursive(v),
-		algosSort(v),
+		algosMatMul(p, v, side),
+		algosDFTButterfly(p, v),
+		algosDFTRecursive(p, v),
+		algosSort(p, v),
 	}
 	for _, prog := range progs {
 		_, tr, err := dbsp.RunTraced(prog, cost.Const{C: 1})

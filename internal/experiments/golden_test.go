@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+// TestTableJSONGolden pins the exact JSON encoding of a Table.
+// cmd/experiments -json is consumed downstream (EXPERIMENTS.md
+// tooling, the sweep JSONL value field), so field names, ordering and
+// indentation are a contract: an intentional change must update this
+// golden alongside the consumers.
+func TestTableJSONGolden(t *testing.T) {
+	tb := &Table{
+		ID:      "E99",
+		Title:   "Golden fixture",
+		Claim:   "encoding is stable",
+		Columns: []string{"n", "measured"},
+		Rows: [][]string{
+			{"64", "1.00"},
+			{"256", "1.02"},
+		},
+		Notes: "fixture only",
+	}
+	want := `{
+  "ID": "E99",
+  "Title": "Golden fixture",
+  "Claim": "encoding is stable",
+  "Columns": [
+    "n",
+    "measured"
+  ],
+  "Rows": [
+    [
+      "64",
+      "1.00"
+    ],
+    [
+      "256",
+      "1.02"
+    ]
+  ],
+  "Notes": "fixture only"
+}`
+	got, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("Table JSON drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTableJSONGoldenEmpty pins the zero-row shape (null vs [] matters
+// to JSON consumers).
+func TestTableJSONGoldenEmpty(t *testing.T) {
+	tb := &Table{ID: "E98", Title: "Empty", Claim: "c", Columns: []string{"x"}}
+	want := `{
+  "ID": "E98",
+  "Title": "Empty",
+  "Claim": "c",
+  "Columns": [
+    "x"
+  ],
+  "Rows": null,
+  "Notes": ""
+}`
+	got, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("empty Table JSON drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -6,66 +6,65 @@ import (
 	"repro/internal/core/hmmsim"
 	"repro/internal/core/selfsim"
 	"repro/internal/dbsp"
-	"repro/internal/obs"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
-// sharedObs, when set, instruments every simulation the experiment
-// tables run: all metrics accumulate into the caller's registry and
-// trace events flow to its sink. cmd/experiments installs it for
-// -metrics/-trace-out.
-var sharedObs *obs.Observer
-
-// SetObserver installs (or, with nil, removes) the shared observer.
-// Call before running experiments; not safe concurrently with them.
-func SetObserver(o *obs.Observer) { sharedObs = o }
+// Every table builder is a pure function of a sweep.Params: p.Quick
+// trims the sweeps, p.Seed offsets the deterministic workload seeds
+// (so distinct jobs draw distinct inputs while any run with the same
+// base seed is bit-for-bit reproducible), and p.Obs instruments every
+// simulation the table runs. The sweep engine derives p per job; the
+// legacy All/Lookup entry points use the same derivation, so serial
+// and concurrent runs produce identical tables.
 
 // hmmOpts/btOpts/selfOpts return the default simulation options,
-// carrying the shared observer when one is installed.
-func hmmOpts() *hmmsim.Options {
-	if sharedObs == nil {
+// carrying the job's observer when one is installed.
+func hmmOpts(p sweep.Params) *hmmsim.Options {
+	if p.Obs == nil {
 		return nil
 	}
-	return &hmmsim.Options{Obs: sharedObs}
+	return &hmmsim.Options{Obs: p.Obs}
 }
 
-func btOpts() *btsim.Options {
-	if sharedObs == nil {
+func btOpts(p sweep.Params) *btsim.Options {
+	if p.Obs == nil {
 		return nil
 	}
-	return &btsim.Options{Obs: sharedObs}
+	return &btsim.Options{Obs: p.Obs}
 }
 
-func selfOpts() *selfsim.Options {
-	if sharedObs == nil {
+func selfOpts(p sweep.Params) *selfsim.Options {
+	if p.Obs == nil {
 		return nil
 	}
-	return &selfsim.Options{Obs: sharedObs}
+	return &selfsim.Options{Obs: p.Obs}
 }
 
 // Program builders shared by the slack audit (E19).
 
-func algosMatMul(n, side int) *dbsp.Program {
-	return algos.MatMul(n, workload.Matrix(71, side, 4), workload.Matrix(72, side, 4))
+func algosMatMul(p sweep.Params, n, side int) *dbsp.Program {
+	return algos.MatMul(n, workload.Matrix(p.Seed+71, side, 4), workload.Matrix(p.Seed+72, side, 4))
 }
 
-func algosDFTButterfly(n int) *dbsp.Program {
-	return algos.DFTButterfly(n, workload.KeyFunc(73, n, 1<<20))
+func algosDFTButterfly(p sweep.Params, n int) *dbsp.Program {
+	return algos.DFTButterfly(n, workload.KeyFunc(p.Seed+73, n, 1<<20))
 }
 
-func algosDFTRecursive(n int) *dbsp.Program {
-	return algos.DFTRecursive(n, workload.KeyFunc(74, n, 1<<20))
+func algosDFTRecursive(p sweep.Params, n int) *dbsp.Program {
+	return algos.DFTRecursive(n, workload.KeyFunc(p.Seed+74, n, 1<<20))
 }
 
-func algosSort(n int) *dbsp.Program {
-	return algos.Sort(n, workload.KeyFunc(75, n, int64(4*n)))
+func algosSort(p sweep.Params, n int) *dbsp.Program {
+	return algos.Sort(n, workload.KeyFunc(p.Seed+75, n, int64(4*n)))
 }
 
 // must panics with the package prefix when err is non-nil. The
 // experiment generators run inside table builders with no error
 // channel: a failing simulation is a bug in the experiment setup, and
 // the prefixed panic satisfies the panicmsg discipline that bare
-// panic(err) would violate.
+// panic(err) would violate. The sweep engine converts the panic into
+// a failed-job outcome.
 func must(err error) {
 	if err != nil {
 		panic("experiments: " + err.Error())

@@ -1,18 +1,24 @@
 // Package experiments regenerates every quantitative claim of the paper
 // as a measured-vs-predicted table (the experiment index of DESIGN.md).
-// cmd/experiments prints the tables; EXPERIMENTS.md records a reference
-// run; the root bench_test.go exposes each as a testing.B benchmark.
+// Each experiment is a pure function of a sweep.Params and registers as
+// a named sweep.Job, so cmd/experiments can run the grid across a
+// bounded worker pool with byte-identical output for any worker count;
+// EXPERIMENTS.md records a reference run; the root bench_test.go
+// exposes each as a testing.B benchmark.
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"repro/internal/sweep"
 )
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E01..E16).
+	// ID is the experiment identifier (E01..E19).
 	ID string
 	// Title summarises the experiment.
 	Title string
@@ -69,54 +75,81 @@ func g(x float64) string { return fmt.Sprintf("%.3g", x) }
 // r formats a ratio.
 func r(x float64) string { return fmt.Sprintf("%.2f", x) }
 
-// All runs every experiment and returns the tables in index order.
-// quick trims the sweeps for fast smoke runs.
-func All(quick bool) []*Table {
-	return []*Table{
-		E01TouchHMM(quick),
-		E02TouchBT(quick),
-		E03HMMSlowdown(quick),
-		E04NaiveVsScheduled(quick),
-		E05MatMul(quick),
-		E06DFT(quick),
-		E07Sort(quick),
-		E08Brent(quick),
-		E09BTSim(quick),
-		E10BTMatMul(quick),
-		E11BTDFTChoice(quick),
-		E14SmoothingAblation(quick),
-		E15Compute(quick),
-		E16AMSort(quick),
-		E17RouteDelivery(quick),
-		E18DirectDelivery(quick),
-		E19LabelSlack(quick),
+// Spec is one registered experiment: its ID and its table builder.
+type Spec struct {
+	// ID is the experiment identifier the CLI filters on.
+	ID string
+	// Build produces the experiment's table; it must be a pure function
+	// of p.
+	Build func(p sweep.Params) *Table
+}
+
+// Specs returns every experiment in index order — the single source of
+// truth All, Lookup and Jobs derive from.
+func Specs() []Spec {
+	return []Spec{
+		{"E01", E01TouchHMM},
+		{"E02", E02TouchBT},
+		{"E03", E03HMMSlowdown},
+		{"E04", E04NaiveVsScheduled},
+		{"E05", E05MatMul},
+		{"E06", E06DFT},
+		{"E07", E07Sort},
+		{"E08", E08Brent},
+		{"E09", E09BTSim},
+		{"E10", E10BTMatMul},
+		{"E11", E11BTDFTChoice},
+		{"E14", E14SmoothingAblation},
+		{"E15", E15Compute},
+		{"E16", E16AMSort},
+		{"E17", E17RouteDelivery},
+		{"E18", E18DirectDelivery},
+		{"E19", E19LabelSlack},
 	}
 }
 
-// Lookup returns the experiment function by ID, for cmd/experiments
-// -only filtering.
-func Lookup(id string) (func(bool) *Table, bool) {
-	m := map[string]func(bool) *Table{
-		"E01": E01TouchHMM,
-		"E02": E02TouchBT,
-		"E03": E03HMMSlowdown,
-		"E04": E04NaiveVsScheduled,
-		"E05": E05MatMul,
-		"E06": E06DFT,
-		"E07": E07Sort,
-		"E08": E08Brent,
-		"E09": E09BTSim,
-		"E10": E10BTMatMul,
-		"E11": E11BTDFTChoice,
-		"E14": E14SmoothingAblation,
-		"E15": E15Compute,
-		"E16": E16AMSort,
-		"E17": E17RouteDelivery,
-		"E18": E18DirectDelivery,
-		"E19": E19LabelSlack,
+// Jobs wraps every experiment as a named sweep.Job whose value is the
+// built *Table.
+func Jobs() []sweep.Job {
+	specs := Specs()
+	jobs := make([]sweep.Job, len(specs))
+	for i, s := range specs {
+		build := s.Build
+		jobs[i] = sweep.Job{ID: s.ID, Run: func(ctx context.Context, p sweep.Params) (any, error) {
+			return build(p), nil
+		}}
 	}
-	fn, ok := m[id]
-	return fn, ok
+	return jobs
+}
+
+// params is the serial-path Params of one experiment: the same seed
+// derivation the sweep engine uses (base seed 0), so All/Lookup match
+// engine runs bit for bit.
+func params(id string, quick bool) sweep.Params {
+	return sweep.Params{Quick: quick, Seed: sweep.SeedFor(0, id)}
+}
+
+// All runs every experiment serially and returns the tables in index
+// order. quick trims the sweeps for fast smoke runs.
+func All(quick bool) []*Table {
+	specs := Specs()
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.Build(params(s.ID, quick))
+	}
+	return out
+}
+
+// Lookup returns the experiment function by ID, for -only filtering
+// and the tests' direct calls.
+func Lookup(id string) (func(bool) *Table, bool) {
+	for _, s := range Specs() {
+		if s.ID == id {
+			build := s.Build
+			return func(quick bool) *Table { return build(params(id, quick)) }, true
+		}
+	}
+	return nil, false
 }
 
 // JSON serialises the table for machine consumption (cmd/experiments

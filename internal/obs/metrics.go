@@ -277,6 +277,33 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Import merges a snapshot into the registry: counters and float
+// counters add their values, gauges take the sample's value, and
+// histograms add the sample's bucket counts. It is how the sweep
+// engine's per-job registries fold into one aggregate report — for
+// counters and histograms, importing N disjoint snapshots equals
+// recording into one shared registry.
+func (r *Registry) Import(samples []Sample) {
+	if r == nil {
+		return
+	}
+	for _, s := range samples {
+		switch s.Kind {
+		case "counter":
+			r.Counter(s.Name).Add(int64(s.Value))
+		case "float":
+			r.FloatCounter(s.Name).Add(s.Value)
+		case "gauge":
+			r.Gauge(s.Name).Set(int64(s.Value))
+		case "hist":
+			h := r.Histogram(s.Name)
+			for k, n := range s.Buckets {
+				h.AddAt(k, n)
+			}
+		}
+	}
+}
+
 // Sample is one metric's state in a Snapshot.
 type Sample struct {
 	// Name is the registered metric name.

@@ -167,3 +167,34 @@ func TestSnapshotSortedAndTyped(t *testing.T) {
 		t.Errorf("hist sample = count %d value %g, want 1, 10", snap[3].Count, snap[3].Value)
 	}
 }
+
+// Import folds disjoint snapshots into one registry the same way a
+// shared registry would have recorded them.
+func TestImportMergesSnapshots(t *testing.T) {
+	mk := func(n int64) []Sample {
+		src := NewRegistry()
+		src.Counter("jobs").Add(n)
+		src.FloatCounter("cost").Add(float64(n) / 2)
+		src.Gauge("workers").Set(n)
+		src.Histogram("wall").Observe(n)
+		return src.Snapshot()
+	}
+	dst := NewRegistry()
+	dst.Import(mk(2))
+	dst.Import(mk(4))
+	if got := dst.Counter("jobs").Value(); got != 6 {
+		t.Errorf("counter merged to %d, want 6", got)
+	}
+	if got := dst.FloatCounter("cost").Value(); got != 3 {
+		t.Errorf("float merged to %g, want 3", got)
+	}
+	if got := dst.Gauge("workers").Value(); got != 4 {
+		t.Errorf("gauge merged to %d, want 4 (last wins)", got)
+	}
+	h := dst.Histogram("wall")
+	if h.Count() != 2 || h.Sum() != 6 {
+		t.Errorf("hist merged to count %d sum %d, want 2, 6", h.Count(), h.Sum())
+	}
+	var nilReg *Registry
+	nilReg.Import(mk(1)) // must not panic
+}

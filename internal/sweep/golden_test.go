@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Golden pin of the JSONL record encoding: downstream consumers of
+// cmd/experiments -jsonl parse these exact field names. A failure here
+// means the change breaks the output contract — add new fields instead
+// of renaming, and update the golden only for deliberate, documented
+// format revisions.
+func TestRecordJSONGolden(t *testing.T) {
+	rec, err := RecordOf(Outcome{
+		ID: "E05", Seq: 4, Status: StatusOK, Seed: 42,
+		Wall:  1500 * time.Microsecond,
+		Value: map[string]string{"k": "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantOK = `{"id":"E05","seq":4,"status":"ok","seed":42,"wall_ms":1.5,"value":{"k":"v"}}`
+	if string(raw) != wantOK {
+		t.Errorf("ok record encoding changed:\n got %s\nwant %s", raw, wantOK)
+	}
+
+	failed, err := RecordOf(Outcome{ID: "E09", Seq: 7, Status: StatusFailed,
+		Seed: 9, Err: errors.New("boom")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = json.Marshal(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantFailed = `{"id":"E09","seq":7,"status":"failed","err":"boom","seed":9,"wall_ms":0}`
+	if string(raw) != wantFailed {
+		t.Errorf("failed record encoding changed:\n got %s\nwant %s", raw, wantFailed)
+	}
+
+	withMetrics, err := RecordOf(Outcome{ID: "E01", Status: StatusOK, Metrics: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = withMetrics
+	rec.Metrics = []Metric{{Name: "hmm.cost.total", Kind: "float", Value: 2.5},
+		{Name: "hmm.depth", Kind: "hist", Value: 6, Count: 2, Buckets: []int64{0, 2}}}
+	raw, err = json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantMetrics = `{"id":"E01","seq":0,"status":"ok","seed":0,"wall_ms":0,` +
+		`"metrics":[{"name":"hmm.cost.total","kind":"float","value":2.5},` +
+		`{"name":"hmm.depth","kind":"hist","value":6,"count":2,"buckets":[0,2]}]}`
+	if string(raw) != wantMetrics {
+		t.Errorf("metric record encoding changed:\n got %s\nwant %s", raw, wantMetrics)
+	}
+}

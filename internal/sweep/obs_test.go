@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The engine's throughput counters must partition the submitted job
+// count the same way the simulators' cost phases partition their
+// totals: every job is started or skipped, and every started job
+// completes or fails.
+func TestThroughputCountersPartitionJobs(t *testing.T) {
+	const n = 10
+	jobs := make([]Job, n)
+	for i := range jobs {
+		fail := i == 4
+		jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			if fail {
+				return nil, errors.New("boom")
+			}
+			return nil, nil
+		}}
+	}
+	for _, keepGoing := range []bool{false, true} {
+		reg := obs.NewRegistry()
+		_, err := Run(context.Background(), jobs, Options{
+			Workers: 1, KeepGoing: keepGoing, Obs: obs.New(reg, nil),
+		})
+		if err == nil {
+			t.Fatalf("keepGoing=%v: expected first-failure error", keepGoing)
+		}
+		started := reg.Counter("sweep.jobs.started").Value()
+		completed := reg.Counter("sweep.jobs.completed").Value()
+		failed := reg.Counter("sweep.jobs.failed").Value()
+		skipped := reg.Counter("sweep.jobs.skipped").Value()
+		if started+skipped != n {
+			t.Errorf("keepGoing=%v: started(%d)+skipped(%d) != %d submitted",
+				keepGoing, started, skipped, n)
+		}
+		if completed+failed != started {
+			t.Errorf("keepGoing=%v: completed(%d)+failed(%d) != started(%d)",
+				keepGoing, completed, failed, started)
+		}
+		if failed != 1 {
+			t.Errorf("keepGoing=%v: failed = %d, want 1", keepGoing, failed)
+		}
+		if keepGoing && (skipped != 0 || completed != n-1) {
+			t.Errorf("keep-going run skipped %d completed %d", skipped, completed)
+		}
+		if !keepGoing && skipped != n-5 {
+			t.Errorf("fail-fast run skipped %d, want %d", skipped, n-5)
+		}
+		if wall := reg.Histogram("sweep.job.wall_ms").Count(); wall != started {
+			t.Errorf("keepGoing=%v: wall histogram count %d != started %d",
+				keepGoing, wall, started)
+		}
+		if w := reg.Gauge("sweep.workers").Value(); w != 1 {
+			t.Errorf("sweep.workers = %d, want 1", w)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Record is the stable JSONL encoding of one Outcome — the format
+// cmd/experiments -jsonl emits, one object per line, in submission
+// order. Field names are pinned by the golden test; add fields, never
+// rename or repurpose them.
+type Record struct {
+	// ID is the job ID.
+	ID string `json:"id"`
+	// Seq is the submission-order index.
+	Seq int `json:"seq"`
+	// Status is "ok", "failed" or "skipped".
+	Status string `json:"status"`
+	// Err carries the failure or skip cause, when not ok.
+	Err string `json:"err,omitempty"`
+	// Seed is the deterministic seed the job ran under.
+	Seed uint64 `json:"seed"`
+	// WallMS is the job's wall-clock time in milliseconds. It is the
+	// one field that varies between byte-identical sweeps.
+	WallMS float64 `json:"wall_ms"`
+	// Value is the job result encoded as JSON, for ok outcomes whose
+	// value is JSON-encodable.
+	Value json.RawMessage `json:"value,omitempty"`
+	// Metrics is the job's private registry snapshot, when metric
+	// capture was on.
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// Metric is the JSONL form of one obs.Sample.
+type Metric struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Kind is "counter", "float", "gauge" or "hist".
+	Kind string `json:"kind"`
+	// Value is the counter/gauge/float value, or a histogram's sum.
+	Value float64 `json:"value"`
+	// Count is a histogram's observation count.
+	Count int64 `json:"count,omitempty"`
+	// Buckets holds a histogram's power-of-two bucket counts.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// metricsOf converts a registry snapshot to the record form.
+func metricsOf(samples []obs.Sample) []Metric {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]Metric, len(samples))
+	for i, s := range samples {
+		out[i] = Metric{Name: s.Name, Kind: s.Kind, Value: s.Value,
+			Count: s.Count, Buckets: s.Buckets}
+	}
+	return out
+}
+
+// RecordOf converts an Outcome to its JSONL record. Values that fail
+// to marshal are reported as an error rather than silently dropped.
+func RecordOf(o Outcome) (Record, error) {
+	rec := Record{
+		ID:      o.ID,
+		Seq:     o.Seq,
+		Status:  string(o.Status),
+		Seed:    o.Seed,
+		WallMS:  float64(o.Wall.Microseconds()) / 1000,
+		Metrics: metricsOf(o.Metrics),
+	}
+	if o.Err != nil {
+		rec.Err = o.Err.Error()
+	}
+	if o.Status == StatusOK && o.Value != nil {
+		raw, err := json.Marshal(o.Value)
+		if err != nil {
+			return rec, fmt.Errorf("sweep: job %s: encode value: %w", o.ID, err)
+		}
+		rec.Value = raw
+	}
+	return rec, nil
+}
+
+// WriteJSONL writes one record per outcome, newline-separated, in
+// submission order.
+func WriteJSONL(w io.Writer, outcomes []Outcome) error {
+	for _, o := range outcomes {
+		rec, err := RecordOf(o)
+		if err != nil {
+			return err
+		}
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("sweep: job %s: %w", o.ID, err)
+		}
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a record stream produced by WriteJSONL, for
+// round-trip tests and offline tooling.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("sweep: record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}

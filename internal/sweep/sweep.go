@@ -1,0 +1,249 @@
+// Package sweep is the concurrent experiment-sweep engine: it runs a
+// list of named jobs (experiment-table builders, parameter sweeps,
+// any deterministic unit of measurement work) across a bounded worker
+// pool while keeping every observable output independent of the
+// scheduling. The guarantees the harness relies on:
+//
+//   - Stable order: Run returns one Outcome per submitted Job, in
+//     submission order, regardless of which worker finished first.
+//   - Deterministic seeding: every job receives a seed derived only
+//     from the base seed and its own ID (SeedFor), never from worker
+//     identity or completion order, so results are byte-identical for
+//     any -workers value.
+//   - Failure policy: by default the first failing job cancels the
+//     run's context and the remaining queued jobs are skipped; with
+//     KeepGoing every job runs and all failures are reported.
+//   - Capture: each job's wall-clock time is recorded, and with
+//     Metrics enabled each job runs against its own obs.Registry whose
+//     snapshot is attached to the Outcome (merge them with
+//     obs.Registry.Import for an aggregate report).
+//
+// Engine throughput is itself observable: Options.Obs receives the
+// sweep.jobs.* counters, the sweep.job.wall_ms histogram and the
+// sweep.workers gauge, so a sweep shows up in the same obs report as
+// the simulations it drives.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Params is the input of one job run. Builders must be pure functions
+// of Params: same Params, same result.
+type Params struct {
+	// Quick trims parameter sweeps for fast smoke runs.
+	Quick bool
+	// Seed is the job's deterministic seed, derived by SeedFor from the
+	// engine's base seed and the job ID. Builders fold it into their
+	// workload seeds so distinct jobs draw distinct inputs while runs
+	// stay reproducible.
+	Seed uint64
+	// Obs carries the job's observer: a per-job registry when metric
+	// capture is on, plus the engine's shared trace sink. May be nil.
+	Obs *obs.Observer
+}
+
+// Job is one named unit of sweep work.
+type Job struct {
+	// ID identifies the job (experiment id, sweep point); it drives
+	// seeding and output labelling and should be unique within a run.
+	ID string
+	// Run produces the job's result. It must respect ctx for early
+	// cancellation on long sweeps and must not retain p.Obs past the
+	// call. A panic inside Run is captured as a job failure.
+	Run func(ctx context.Context, p Params) (any, error)
+}
+
+// Status classifies an Outcome.
+type Status string
+
+const (
+	// StatusOK marks a job that completed successfully.
+	StatusOK Status = "ok"
+	// StatusFailed marks a job whose Run returned an error or panicked.
+	StatusFailed Status = "failed"
+	// StatusSkipped marks a job that never ran because the sweep was
+	// cancelled (first failure, deadline, caller cancellation).
+	StatusSkipped Status = "skipped"
+)
+
+// Outcome is one job's result.
+type Outcome struct {
+	// ID echoes the job ID.
+	ID string
+	// Seq is the job's position in submission order; Run returns
+	// outcomes sorted by Seq whatever the completion order was.
+	Seq int
+	// Status is ok, failed or skipped.
+	Status Status
+	// Value is the job's result (nil unless Status is ok).
+	Value any
+	// Err is the failure or skip cause (nil when ok).
+	Err error
+	// Seed is the deterministic seed the job ran under.
+	Seed uint64
+	// Wall is the job's wall-clock duration (zero when skipped).
+	Wall time.Duration
+	// Metrics is the snapshot of the job's private registry, when the
+	// engine ran with Metrics enabled.
+	Metrics []obs.Sample
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// KeepGoing runs every job even after failures instead of
+	// cancelling the sweep at the first one.
+	KeepGoing bool
+	// Quick is forwarded to every job's Params.
+	Quick bool
+	// Seed is the base seed; each job runs under SeedFor(Seed, job.ID).
+	Seed uint64
+	// Metrics gives each job a private obs.Registry and attaches its
+	// snapshot to the Outcome.
+	Metrics bool
+	// Obs receives the engine's own throughput metrics, and its Sink
+	// (if any) is shared with every job for structured tracing. May be
+	// nil.
+	Obs *obs.Observer
+}
+
+// SeedFor derives the deterministic seed of job id under base: an
+// FNV-1a hash of the ID folded into the base via a SplitMix64 round.
+// It depends on nothing but its arguments, which is what makes sweep
+// results independent of worker count and completion order.
+func SeedFor(base uint64, id string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	z := base + 0x9e3779b97f4a7c15 + h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Run executes jobs across the bounded worker pool and returns one
+// outcome per job in submission order. The returned error is the first
+// job failure (in completion order) or the context's error; with
+// KeepGoing it still reports the first failure, after every job has
+// run. Outcomes are complete in every case.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		started   = opt.Obs.Counter("sweep.jobs.started")
+		completed = opt.Obs.Counter("sweep.jobs.completed")
+		failed    = opt.Obs.Counter("sweep.jobs.failed")
+		skipped   = opt.Obs.Counter("sweep.jobs.skipped")
+		wallHist  = opt.Obs.Histogram("sweep.job.wall_ms")
+	)
+	opt.Obs.Gauge("sweep.workers").Set(int64(workers))
+
+	outcomes := make([]Outcome, len(jobs))
+	var (
+		next     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			if !opt.KeepGoing {
+				cancel()
+			}
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				out := &outcomes[i]
+				out.ID, out.Seq = job.ID, i
+				out.Seed = SeedFor(opt.Seed, job.ID)
+				if err := ctx.Err(); err != nil {
+					out.Status, out.Err = StatusSkipped, err
+					skipped.Inc()
+					continue
+				}
+				p := Params{Quick: opt.Quick, Seed: out.Seed}
+				var reg *obs.Registry
+				if opt.Metrics {
+					reg = obs.NewRegistry()
+				}
+				var sink obs.Sink
+				if opt.Obs != nil {
+					sink = opt.Obs.Sink
+				}
+				if reg != nil || sink != nil {
+					p.Obs = obs.New(reg, sink)
+				}
+				started.Inc()
+				begin := time.Now()
+				val, err := runJob(ctx, job, p)
+				out.Wall = time.Since(begin)
+				wallHist.Observe(out.Wall.Milliseconds())
+				if reg != nil {
+					out.Metrics = reg.Snapshot()
+				}
+				if err != nil {
+					out.Status, out.Err = StatusFailed, err
+					failed.Inc()
+					fail(fmt.Errorf("sweep: job %s: %w", job.ID, err))
+					continue
+				}
+				out.Status, out.Value = StatusOK, val
+				completed.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return outcomes, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
+	}
+	return outcomes, nil
+}
+
+// runJob invokes the job, translating a panic in the builder into an
+// error so one bad experiment cannot take down a keep-going sweep.
+func runJob(ctx context.Context, job Job, p Params) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: job %s panicked: %v", job.ID, r)
+		}
+	}()
+	return job.Run(ctx, p)
+}

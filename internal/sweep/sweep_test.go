@@ -1,0 +1,324 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// nJobs builds n trivial jobs whose value records (id, seed) so tests
+// can check ordering and seeding.
+func nJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		id := fmt.Sprintf("J%02d", i)
+		jobs[i] = Job{ID: id, Run: func(ctx context.Context, p Params) (any, error) {
+			return fmt.Sprintf("%s/%d", id, p.Seed), nil
+		}}
+	}
+	return jobs
+}
+
+// values extracts the ok values in order.
+func values(outcomes []Outcome) []any {
+	out := make([]any, len(outcomes))
+	for i, o := range outcomes {
+		out[i] = o.Value
+	}
+	return out
+}
+
+// The central determinism guarantee: outcomes (ids, seq, seeds,
+// values) are identical for every worker count.
+func TestStableOrderAcrossWorkerCounts(t *testing.T) {
+	jobs := nJobs(17)
+	ref, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 64} {
+		got, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(values(got), values(ref)) {
+			t.Fatalf("workers=%d: values diverge from serial run", workers)
+		}
+		for i, o := range got {
+			if o.Seq != i || o.ID != jobs[i].ID || o.Status != StatusOK {
+				t.Fatalf("workers=%d outcome %d = %+v", workers, i, o)
+			}
+			if o.Seed != SeedFor(0, o.ID) {
+				t.Fatalf("workers=%d job %s seed = %d, want SeedFor", workers, o.ID, o.Seed)
+			}
+		}
+	}
+}
+
+func TestSeedForDeterministicAndDistinct(t *testing.T) {
+	if SeedFor(7, "E01") != SeedFor(7, "E01") {
+		t.Error("SeedFor not deterministic")
+	}
+	if SeedFor(7, "E01") == SeedFor(7, "E02") {
+		t.Error("distinct ids should get distinct seeds")
+	}
+	if SeedFor(7, "E01") == SeedFor(8, "E01") {
+		t.Error("distinct base seeds should get distinct seeds")
+	}
+}
+
+// The pool must never run more than Workers jobs at once.
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil, nil
+		}}
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("concurrency peaked at %d, bound is %d", p, workers)
+	}
+}
+
+// First failure cancels the sweep: queued jobs are skipped and the
+// first error is returned.
+func TestFirstFailureCancels(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		fail := i == 2
+		jobs[i] = Job{ID: fmt.Sprintf("J%02d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			ran.Add(1)
+			if fail {
+				return nil, errors.New("boom")
+			}
+			return "ok", nil
+		}}
+	}
+	outcomes, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "J02") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want first failure of J02", err)
+	}
+	if outcomes[2].Status != StatusFailed {
+		t.Errorf("J02 status = %s", outcomes[2].Status)
+	}
+	var skipped int
+	for _, o := range outcomes[3:] {
+		if o.Status == StatusSkipped {
+			skipped++
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Errorf("%s skip cause = %v", o.ID, o.Err)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("no queued job was skipped after the failure")
+	}
+	if int(ran.Load()) >= len(jobs) {
+		t.Error("every job ran despite fail-fast")
+	}
+}
+
+// KeepGoing runs everything and still reports the first failure.
+func TestKeepGoingRunsAll(t *testing.T) {
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		fail := i%3 == 1
+		jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			if fail {
+				return nil, errors.New("boom")
+			}
+			return "ok", nil
+		}}
+	}
+	outcomes, err := Run(context.Background(), jobs, Options{Workers: 2, KeepGoing: true})
+	if err == nil {
+		t.Fatal("want first failure reported")
+	}
+	for i, o := range outcomes {
+		want := StatusOK
+		if i%3 == 1 {
+			want = StatusFailed
+		}
+		if o.Status != want {
+			t.Errorf("job %d status = %s, want %s", i, o.Status, want)
+		}
+	}
+}
+
+// A panicking builder is a failed job, not a crashed sweep.
+func TestPanicBecomesFailure(t *testing.T) {
+	jobs := []Job{
+		{ID: "good", Run: func(ctx context.Context, p Params) (any, error) { return 1, nil }},
+		{ID: "bad", Run: func(ctx context.Context, p Params) (any, error) { panic("kaput") }},
+	}
+	outcomes, err := Run(context.Background(), jobs, Options{Workers: 2, KeepGoing: true})
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+	if outcomes[1].Status != StatusFailed || !strings.Contains(outcomes[1].Err.Error(), "kaput") {
+		t.Errorf("bad outcome = %+v", outcomes[1])
+	}
+	if outcomes[0].Status != StatusOK {
+		t.Errorf("good outcome = %+v", outcomes[0])
+	}
+}
+
+// A cancelled context skips queued work and surfaces the context error.
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	var once sync.Once
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			once.Do(func() { cancel(); close(release) })
+			<-release
+			return "ok", nil
+		}}
+	}
+	outcomes, err := Run(ctx, jobs, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var skipped int
+	for _, o := range outcomes {
+		if o.Status == StatusSkipped {
+			skipped++
+		}
+	}
+	if skipped != len(jobs)-1 {
+		t.Errorf("%d jobs skipped, want %d", skipped, len(jobs)-1)
+	}
+}
+
+// Metric capture: each job sees a private registry whose snapshot
+// lands on its outcome, with the shared sink forwarded.
+func TestMetricsCapture(t *testing.T) {
+	var traced atomic.Int64
+	sink := obs.SinkFunc(func(obs.Event) { traced.Add(1) })
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		n := int64(i + 1)
+		jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			p.Obs.Counter("work.items").Add(n)
+			p.Obs.Emit(obs.Event{Kind: "tick"})
+			return nil, nil
+		}}
+	}
+	reg := obs.NewRegistry()
+	outcomes, err := Run(context.Background(), jobs, Options{
+		Workers: 2, Metrics: true, Obs: obs.New(reg, sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outcomes {
+		found := false
+		for _, s := range o.Metrics {
+			if s.Name == "work.items" {
+				found = true
+				if s.Value != float64(i+1) {
+					t.Errorf("job %d work.items = %g, want %d", i, s.Value, i+1)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("job %d: no work.items sample", i)
+		}
+	}
+	if traced.Load() != int64(len(jobs)) {
+		t.Errorf("sink saw %d events, want %d", traced.Load(), len(jobs))
+	}
+	// Per-job registries are private: the engine registry holds only
+	// engine metrics.
+	if got := reg.Counter("work.items").Value(); got != 0 {
+		t.Errorf("engine registry leaked job metric: %d", got)
+	}
+}
+
+// Without Metrics and without a sink the job observer is nil — the
+// zero-overhead disabled path.
+func TestNilObserverWhenDisabled(t *testing.T) {
+	jobs := []Job{{ID: "J", Run: func(ctx context.Context, p Params) (any, error) {
+		if p.Obs != nil {
+			return nil, errors.New("observer should be nil when capture is off")
+		}
+		return nil, nil
+	}}}
+	if _, err := Run(context.Background(), jobs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmptyJobList(t *testing.T) {
+	outcomes, err := Run(context.Background(), nil, Options{Workers: 4})
+	if err != nil || len(outcomes) != 0 {
+		t.Fatalf("empty run = (%v, %v)", outcomes, err)
+	}
+}
+
+// JSONL round trip preserves the stable fields.
+func TestJSONLRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{ID: "A", Run: func(ctx context.Context, p Params) (any, error) {
+			return map[string]int{"x": 1}, nil
+		}},
+		{ID: "B", Run: func(ctx context.Context, p Params) (any, error) {
+			return nil, errors.New("boom")
+		}},
+	}
+	outcomes, _ := Run(context.Background(), jobs, Options{Workers: 1, KeepGoing: true})
+	var buf strings.Builder
+	if err := WriteJSONL(&buf, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	if recs[0].ID != "A" || recs[0].Status != "ok" || string(recs[0].Value) != `{"x":1}` {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].ID != "B" || recs[1].Status != "failed" || !strings.Contains(recs[1].Err, "boom") {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+	if recs[0].Seed != SeedFor(0, "A") {
+		t.Errorf("record 0 seed = %d", recs[0].Seed)
+	}
+}
+
+// An unencodable value must surface as an error, not a silent drop.
+func TestJSONLUnencodableValue(t *testing.T) {
+	outcomes := []Outcome{{ID: "A", Status: StatusOK, Value: func() {}}}
+	var buf strings.Builder
+	if err := WriteJSONL(&buf, outcomes); err == nil {
+		t.Fatal("func value encoded without error")
+	}
+}
