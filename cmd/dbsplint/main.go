@@ -1,14 +1,20 @@
 // Command dbsplint runs the repo's custom static-analysis suite
-// (internal/lint) over the module: the checks that keep the paper's
-// simulation discipline and the repo's load-bearing conventions
-// machine-enforced. Findings print one per line as
+// (internal/lint) over the module: the syntactic convention checks plus
+// the dbspvet typed pass that verifies D-BSP program shape and
+// determinism. Findings print one per line as
 //
 //	file:line: analyzer: message
 //
 // and any finding makes the command exit with status 1, so CI can gate
 // on it. Usage:
 //
-//	dbsplint [-list] ./...
+//	dbsplint [-list] [-json] [-only a,b | -skip a,b] ./...
+//
+// -json emits the findings as a JSON array on stdout (an empty run
+// prints "[]"), for editor and tooling integration. -only restricts the
+// run to the named analyzers; -skip runs all but the named ones; the
+// two are mutually exclusive and unknown analyzer names are usage
+// errors (exit 2).
 //
 // Patterns are directory trees: "./..." (or "dir/...") lints every
 // package under the directory; a plain directory lints that tree too.
@@ -16,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,11 +46,71 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// selectAnalyzers applies the -only/-skip filters. Unknown names in
+// either list are usage errors: a typo must not silently run (or skip)
+// nothing.
+func selectAnalyzers(all []*lint.Analyzer, only, skip string) []*lint.Analyzer {
+	if only != "" && skip != "" {
+		usageErr("-only and -skip are mutually exclusive")
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, csv string) map[string]bool {
+		set := make(map[string]bool)
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				usageErr("%s: unknown analyzer %q (see -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set
+	}
+	switch {
+	case only != "":
+		want := parse("-only", only)
+		var selected []*lint.Analyzer
+		for _, a := range all {
+			if want[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+		return selected
+	case skip != "":
+		drop := parse("-skip", skip)
+		var selected []*lint.Analyzer
+		for _, a := range all {
+			if !drop[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+		return selected
+	}
+	return all
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and the invariants they enforce")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	only := flag.String("only", "", "comma-separated analyzers to run (exclusive with -skip)")
+	skip := flag.String("skip", "", "comma-separated analyzers to skip (exclusive with -only)")
 	flag.Parse()
 
-	analyzers := lint.Analyzers()
+	analyzers := selectAnalyzers(lint.Analyzers(), *only, *skip)
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
@@ -101,6 +168,31 @@ func main() {
 	}
 
 	findings := lint.Run(selected, analyzers)
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			rel, err := filepath.Rel(cwd, f.Pos.Filename)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				rel = f.Pos.Filename
+			}
+			out = append(out, jsonFinding{
+				File:     filepath.ToSlash(rel),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal("%v", err)
+		}
+		if len(findings) > 0 {
+			os.Exit(1) //lint:ignore exitdiscipline findings already reported on stdout as JSON; the fatal helper would add a stderr line tooling does not expect
+		}
+		return
+	}
 	for _, f := range findings {
 		rel, err := filepath.Rel(cwd, f.Pos.Filename)
 		if err != nil || strings.HasPrefix(rel, "..") {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -71,7 +72,7 @@ func TestFixtureTreeFails(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"nilguard", "panicmsg", "laststep", "exitdiscipline", "obspartition"} {
+	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge"} {
 		if !strings.Contains(out, ": "+analyzer+": ") {
 			t.Errorf("no %s finding in output:\n%s", analyzer, out)
 		}
@@ -104,9 +105,112 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"nilguard", "panicmsg", "laststep", "exitdiscipline", "obspartition"} {
+	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge"} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("-list missing %s:\n%s", analyzer, out)
+		}
+	}
+}
+
+// TestJSONOutput: -json over the fixture tree emits a parseable array
+// of findings and still exits 1.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	out, code := runSelf(t, fixtures, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("empty findings array over the fixture tree")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestJSONClean: a clean run under -json prints an empty array, not
+// nothing, so consumers always get valid JSON.
+func TestJSONClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	out, code := runSelf(t, "..", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+// TestOnlyFilter: -only restricts the run to the named analyzers.
+func TestOnlyFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	out, code := runSelf(t, fixtures, "-only", "stepshape", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, ": stepshape: ") {
+		t.Errorf("no stepshape finding:\n%s", out)
+	}
+	for _, other := range []string{"nilguard", "panicmsg", "detseed", "costcharge", "stepconfine"} {
+		if strings.Contains(out, ": "+other+": ") {
+			t.Errorf("-only stepshape still ran %s:\n%s", other, out)
+		}
+	}
+}
+
+// TestSkipFilter: -skip removes the named analyzers and keeps the rest.
+func TestSkipFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	fixtures := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	out, code := runSelf(t, fixtures, "-skip", "stepshape,detseed", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	for _, skipped := range []string{"stepshape", "detseed"} {
+		if strings.Contains(out, ": "+skipped+": ") {
+			t.Errorf("-skip still ran %s:\n%s", skipped, out)
+		}
+	}
+	if !strings.Contains(out, ": stepconfine: ") {
+		t.Errorf("-skip dropped an analyzer it should have kept:\n%s", out)
+	}
+}
+
+// TestUnknownAnalyzerExitsTwo: a typo in -only or -skip is a usage
+// error, never a silently empty run.
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	for _, args := range [][]string{
+		{"-only", "nosuch", "./..."},
+		{"-skip", "nosuch", "./..."},
+		{"-only", "stepshape", "-skip", "detseed", "./..."},
+	} {
+		out, code := runSelf(t, "..", args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2:\n%s", args, code, out)
 		}
 	}
 }

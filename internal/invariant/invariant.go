@@ -20,6 +20,14 @@
 //
 // Violations are recorded (capped) and, when an observer is attached,
 // emitted as structured "violation" trace events through internal/obs.
+//
+// The split with the static side: dbsplint's stepshape analyzer proves
+// at lint time whatever a Program literal makes constant — label
+// ranges, the final barrier, power-of-two V, declared TransposeRoute
+// factorizations — while this package checks the properties only an
+// execution reveals: the traffic the handlers actually produced, its
+// conservation through delivery, and its confinement to the clusters
+// the labels promise.
 package invariant
 
 import (

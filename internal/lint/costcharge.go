@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CostCharge is the typed upgrade of the retired syntactic obspartition
+// analyzer, enforcing the cost-partition invariant of the observability
+// layer (internal/obs/report.go): the top-level <sim>.cost.<phase>
+// float counters a simulator charges must partition the exact returned
+// host cost — the obs tests assert Σ phases == <sim>.cost.total. The
+// cross-check is the same three rules:
+//
+//   - a package that charges top-level phase counters must declare the
+//     package-level costPhases string slice the tests sum over;
+//   - every charged phase must be listed in costPhases;
+//   - every listed phase must be charged somewhere in the package.
+//
+// What the typed pass adds over the bare-literal matcher it replaces:
+// counter names are resolved through go/types constant folding, so
+// named constants and constant concatenations count as charges; the
+// costPhases entries fold the same way; and cost-window helpers (a
+// function whose body charges FloatCounter(<const ".cost." prefix> +
+// <param>)) are recognized by object identity at their call sites,
+// whatever name or receiver they are invoked through. Immediate
+// .Value() reads stay exempt (inspection, not charging), as do dotted
+// sub-phases (<sim>.cost.<phase>.<sub>) and the verbatim-copied
+// <sim>.cost.total.
+var CostCharge = &Analyzer{
+	Name: "costcharge",
+	Doc:  "charged <sim>.cost.<phase> counters (resolved through constants and helpers) must match the package's declared costPhases partition",
+	Run:  runCostCharge,
+}
+
+// chargeHelper is a function whose body charges a phase counter built
+// from a constant "<sim>.cost." prefix and one of its parameters.
+type chargeHelper struct {
+	obj   types.Object // the helper function object
+	param int          // index of the phase-name parameter
+}
+
+func runCostCharge(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return
+	}
+	helpers := findChargeHelpers(pkg)
+
+	type site struct {
+		name string
+		pos  token.Pos
+	}
+	var charged []site
+	for _, file := range pkg.Files {
+		// FloatCounter resolutions immediately read via .Value() are
+		// inspections, not charges.
+		valueReads := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Value" {
+				return true
+			}
+			if inner, ok := sel.X.(*ast.CallExpr); ok && isFloatCounterCall(inner) {
+				valueReads[inner] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFloatCounterCall(call) && !valueReads[call] && len(call.Args) == 1 {
+				if name, ok := constStringOf(pkg, call.Args[0]); ok {
+					if phase, top := topLevelPhase(name); top {
+						charged = append(charged, site{phase, call.Args[0].Pos()})
+					}
+				}
+			}
+			if h, ok := resolveHelper(pkg, helpers, call); ok && h.param < len(call.Args) {
+				arg := call.Args[h.param]
+				if name, ok := constStringOf(pkg, arg); ok && !strings.Contains(name, ".") {
+					charged = append(charged, site{name, arg.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	if len(charged) == 0 {
+		return
+	}
+
+	declared, declPos, declNames := findCostPhases(pass)
+	if declared == nil {
+		pass.Reportf(charged[0].pos,
+			"package %s charges cost phases but declares no costPhases partition (the obs tests sum the partition against <sim>.cost.total)",
+			pkg.Name)
+		return
+	}
+	seen := map[string]bool{}
+	for _, c := range charged {
+		seen[c.name] = true
+		if !declared[c.name] {
+			pass.Reportf(c.pos,
+				"cost phase %q is charged but missing from costPhases; it would break the phases-partition-the-total invariant", c.name)
+		}
+	}
+	for _, name := range declNames {
+		if !seen[name] {
+			pass.Reportf(declPos,
+				"costPhases lists %q but the package never charges it; remove the stale entry or restore the counter", name)
+		}
+	}
+}
+
+// findChargeHelpers scans the package's function declarations for the
+// cost-window helper shape: somewhere in the body, FloatCounter(prefix
+// + param) with a constant prefix ending in ".cost.".
+func findChargeHelpers(pkg *Package) []chargeHelper {
+	var helpers []chargeHelper
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Type.Params == nil {
+				continue
+			}
+			params := paramObjects(pkg, fn)
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isFloatCounterCall(call) || len(call.Args) != 1 {
+					return true
+				}
+				b, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+				if !ok || b.Op != token.ADD {
+					return true
+				}
+				prefix, ok := constStringOf(pkg, b.X)
+				if !ok || !strings.HasSuffix(prefix, ".cost.") || len(prefix) <= len(".cost.") {
+					return true
+				}
+				id, ok := ast.Unparen(b.Y).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := objectOf(pkg, id)
+				for i, p := range params {
+					if p == obj {
+						helpers = append(helpers, chargeHelper{obj: objectOf(pkg, fn.Name), param: i})
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	return helpers
+}
+
+// paramObjects returns the declared parameter objects of fn in order.
+func paramObjects(pkg *Package, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, objectOf(pkg, name))
+		}
+	}
+	return out
+}
+
+// resolveHelper matches a call against the discovered helpers by callee
+// object identity.
+func resolveHelper(pkg *Package, helpers []chargeHelper, call *ast.CallExpr) (chargeHelper, bool) {
+	if len(helpers) == 0 {
+		return chargeHelper{}, false
+	}
+	obj := calleeObject(pkg, call)
+	if obj == nil {
+		return chargeHelper{}, false
+	}
+	for _, h := range helpers {
+		if h.obj == obj {
+			return h, true
+		}
+	}
+	return chargeHelper{}, false
+}
+
+// topLevelPhase splits a metric name of the form <sim>.cost.<phase>
+// and reports whether it is a chargeable top-level phase (single
+// segment, not "total").
+func topLevelPhase(name string) (string, bool) {
+	i := strings.Index(name, ".cost.")
+	if i <= 0 {
+		return "", false
+	}
+	phase := name[i+len(".cost."):]
+	if phase == "" || phase == "total" || strings.Contains(phase, ".") {
+		return "", false
+	}
+	// The prefix must be a bare component name (no further dots).
+	if strings.Contains(name[:i], ".") {
+		return "", false
+	}
+	return phase, true
+}
+
+// isFloatCounterCall matches <expr>.FloatCounter(...) — the obs
+// Registry/Observer resolution method.
+func isFloatCounterCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "FloatCounter"
+}
+
+// findCostPhases locates the package-level `costPhases` declaration and
+// returns its entries as a set, its position, and the entries in order.
+// Entries fold through the type info, so named constants are legal.
+func findCostPhases(pass *Pass) (map[string]bool, token.Pos, []string) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "costPhases" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					set := map[string]bool{}
+					var names []string
+					for _, elt := range lit.Elts {
+						s, ok := constStringOf(pkg, elt)
+						if !ok {
+							s, ok = stringLit(elt)
+						}
+						if ok {
+							set[s] = true
+							names = append(names, s)
+						}
+					}
+					return set, name.Pos(), names
+				}
+			}
+		}
+	}
+	return nil, token.NoPos, nil
+}

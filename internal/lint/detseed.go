@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetSeed enforces the determinism discipline of the internal packages:
+// the sweep engine promises byte-identical output for any -workers
+// value, and that only holds when every source of nondeterminism is
+// funneled through the seeded paths (sweep.SeedFor and the per-job
+// rand.New(rand.NewSource(seed)) generators). Three leak classes are
+// flagged:
+//
+//   - time.Now calls — wall-clock readings differ between runs. The
+//     canonical exemption is duration measurement that never reaches
+//     program output; mark those sites with
+//     "//lint:ignore detseed <reason>".
+//   - the global math/rand (and math/rand/v2) convenience functions —
+//     they draw from a process-wide source shared across goroutines;
+//     use a locally seeded *rand.Rand instead.
+//   - ranging over a map to produce ordered output: a loop body that
+//     Sends messages, prints, or appends to a slice observes Go's
+//     randomized map iteration order. Appends are exempt when the
+//     slice is passed to a sort/slices call later in the same function
+//     — the collect-then-sort idiom restores determinism.
+var DetSeed = &Analyzer{
+	Name: "detseed",
+	Doc:  "internal/ packages must stay deterministic: no time.Now, no global math/rand, no ordered output from map iteration",
+	Run:  runDetSeed,
+}
+
+// globalRandFuncs are the math/rand and math/rand/v2 package-level
+// functions that draw from the shared global source. Constructors
+// (New, NewSource, NewPCG, NewChaCha8, NewZipf) are the approved
+// deterministic path and are absent.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// v2 spellings
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true,
+}
+
+func runDetSeed(pass *Pass) {
+	pkg := pass.Pkg
+	path := pkg.Path
+	if !strings.Contains(path, "/internal/") && !strings.HasPrefix(path, "internal/") {
+		return
+	}
+	if pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		// funcBodies tracks enclosing function bodies (decls and
+		// literals) so map-range append findings can look for a
+		// restoring sort later in the same function.
+		var funcBodies []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					funcBodies = append(funcBodies, x.Body)
+					ast.Inspect(x.Body, walk)
+					funcBodies = funcBodies[:len(funcBodies)-1]
+					return false
+				}
+			case *ast.FuncLit:
+				funcBodies = append(funcBodies, x.Body)
+				ast.Inspect(x.Body, walk)
+				funcBodies = funcBodies[:len(funcBodies)-1]
+				return false
+			case *ast.CallExpr:
+				if impPath, name, ok := pkgSelCall(pkg, x); ok {
+					checkNondetCall(pass, x, impPath, name)
+				}
+			case *ast.RangeStmt:
+				if isMapRange(pkg, x) {
+					var encl *ast.BlockStmt
+					if len(funcBodies) > 0 {
+						encl = funcBodies[len(funcBodies)-1]
+					}
+					checkMapRange(pass, x, encl)
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+}
+
+// checkNondetCall flags time.Now and global math/rand draws.
+func checkNondetCall(pass *Pass, call *ast.CallExpr, impPath, name string) {
+	switch {
+	case impPath == "time" && name == "Now":
+		pass.Reportf(call.Pos(),
+			"time.Now in internal/ breaks run-to-run determinism; derive timing-free logic from seeds (or //lint:ignore detseed for pure duration measurement)")
+	case (impPath == "math/rand" || impPath == "math/rand/v2") && globalRandFuncs[name]:
+		pass.Reportf(call.Pos(),
+			"global rand.%s draws from the shared process-wide source; use rand.New(rand.NewSource(seed)) with a sweep-derived seed so results are reproducible", name)
+	}
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(p *Package, rng *ast.RangeStmt) bool {
+	t := p.Info.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange flags ordered-output sinks inside a map-iteration body.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, encl *ast.BlockStmt) {
+	pkg := pass.Pkg
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Send" {
+				pass.Reportf(x.Pos(),
+					"Send inside a map range: message order follows Go's randomized map iteration; iterate a sorted key slice instead")
+				return true
+			}
+			if impPath, name, ok := pkgSelCall(pkg, x); ok && impPath == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(x.Pos(),
+					"printing inside a map range emits lines in randomized iteration order; collect and sort first")
+			}
+		case *ast.AssignStmt:
+			checkRangeAppend(pass, x, rng, encl)
+		}
+		return true
+	})
+}
+
+// checkRangeAppend flags `s = append(s, ...)` inside a map range unless
+// s is sorted later in the enclosing function.
+func checkRangeAppend(pass *Pass, asg *ast.AssignStmt, rng *ast.RangeStmt, encl *ast.BlockStmt) {
+	pkg := pass.Pkg
+	for i, rhs := range asg.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			continue
+		}
+		if i >= len(asg.Lhs) {
+			continue
+		}
+		id := rootIdent(asg.Lhs[i])
+		if id == nil {
+			continue
+		}
+		obj := objectOf(pkg, id)
+		if obj == nil || sortedAfter(pkg, encl, obj, rng.End()) {
+			continue
+		}
+		pass.Reportf(asg.Pos(),
+			"append to %q inside a map range produces randomized element order; sort it afterwards or iterate sorted keys", id.Name)
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call
+// positioned after pos inside body — the collect-then-sort idiom.
+func sortedAfter(p *Package, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		impPath, _, ok := pkgSelCall(p, call)
+		if !ok || (impPath != "sort" && impPath != "slices") {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// Unwrap one conversion/constructor layer: sort.Sort(byName(s)).
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = ast.Unparen(inner.Args[0])
+		}
+		if id := rootIdent(arg); id != nil && objectOf(p, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -14,14 +14,28 @@ var goldenWant = []string{
 	"cmd/badexit/main.go:13: exitdiscipline: log.Fatal exits without the usage/exit-code discipline; use the fatal helper (exit 1) or usageErr (exit 2) instead",
 	"cmd/badexit/main.go:16: exitdiscipline: os.Exit outside the usageErr/fatal helpers; route flag-validation failures through usageErr (exit 2) and runtime failures through fatal (exit 1)",
 	"cmd/badexit/main.go:25: exitdiscipline: usageErr must exit with status 2, got os.Exit(1)",
+	`internal/badcharge/badcharge.go:29: costcharge: cost phase "comm" is charged but missing from costPhases; it would break the phases-partition-the-total invariant`,
+	`internal/badcharge/badcharge.go:31: costcharge: cost phase "route" is charged but missing from costPhases; it would break the phases-partition-the-total invariant`,
+	`internal/badconfine/badconfine.go:14: stepconfine: Run closure writes captured variable "total"; processors execute concurrently, so writes to enclosing-scope state race (keep per-processor state in the Ctx, or aggregate after the run)`,
+	`internal/badconfine/badconfine.go:26: stepconfine: Run closure writes captured variable "log"; processors execute concurrently, so writes to enclosing-scope state race (keep per-processor state in the Ctx, or aggregate after the run)`,
 	`internal/badpanic/badpanic.go:13: panicmsg: panic message "boom with no prefix" must start with the package prefix "badpanic: "`,
 	`internal/badpanic/badpanic.go:16: panicmsg: panic argument must be a "badpanic: "-prefixed message (string literal, "badpanic: " + ..., or fmt.Sprintf/Errorf with a prefixed format); got a value the linter cannot see a prefix in`,
 	`internal/badpanic/badpanic.go:19: panicmsg: panic message "other: wrong prefix %d" must start with the package prefix "badpanic: "`,
-	`internal/badsim/sim.go:7: obspartition: costPhases lists "stale" but the package never charges it; remove the stale entry or restore the counter`,
-	`internal/badsim/sim.go:18: obspartition: cost phase "comm" is charged but missing from costPhases; it would break the phases-partition-the-total invariant`,
-	"internal/nodecl/sim.go:11: obspartition: package nodecl charges cost phases but declares no costPhases partition (the obs tests sum the partition against <sim>.cost.total)",
+	`internal/badseed/badseed.go:19: directive: malformed //lint:ignore: want "//lint:ignore <analyzer> <reason>" — the reason is mandatory`,
+	"internal/badseed/badseed.go:21: detseed: time.Now in internal/ breaks run-to-run determinism; derive timing-free logic from seeds (or //lint:ignore detseed for pure duration measurement)",
+	"internal/badseed/badseed.go:26: detseed: global rand.Intn draws from the shared process-wide source; use rand.New(rand.NewSource(seed)) with a sweep-derived seed so results are reproducible",
+	"internal/badseed/badseed.go:38: detseed: printing inside a map range emits lines in randomized iteration order; collect and sort first",
+	"internal/badseed/badseed.go:45: detseed: Send inside a map range: message order follows Go's randomized map iteration; iterate a sorted key slice instead",
+	`internal/badseed/badseed.go:53: detseed: append to "out" inside a map range produces randomized element order; sort it afterwards or iterate sorted keys`,
+	`internal/badsim/sim.go:7: costcharge: costPhases lists "stale" but the package never charges it; remove the stale entry or restore the counter`,
+	`internal/badsim/sim.go:18: costcharge: cost phase "comm" is charged but missing from costPhases; it would break the phases-partition-the-total invariant`,
+	"internal/nodecl/sim.go:11: costcharge: package nodecl charges cost phases but declares no costPhases partition (the obs tests sum the partition against <sim>.cost.total)",
 	"internal/obs/sink.go:11: nilguard: exported method (*Sink).Emit must begin with a nil-receiver guard (`if s == nil`) so disabled instrumentation stays free",
-	"internal/progs/progs.go:13: laststep: Program.Steps literal must end with a Label: 0 superstep (global barrier, paper Section 2); last superstep has Label: 2",
+	"internal/progs/progs.go:19: stepshape: Program.Steps literal must end with a Label: 0 superstep (global barrier, paper Section 2); last superstep has Label: 2",
+	"internal/progs/progs.go:26: stepshape: Program V = 12 is not a positive power of two; the D-BSP cluster hierarchy needs V = 2^k (paper Section 2)",
+	"internal/progs/progs.go:37: stepshape: superstep label 4 exceeds log2(V) = 3 for V = 8; no such cluster level exists (paper Section 2)",
+	"internal/progs/progs.go:47: stepshape: superstep label -1 is negative; labels index the cluster hierarchy and must lie in [0, log2 V]",
+	"internal/progs/progs.go:58: stepshape: TransposeRoute 2x4 does not cover the label-1 cluster: M1*M2 = 8, cluster size is 4 (the BT riffle routing of paper Section 6 needs the exact factorization)",
 }
 
 func loadFixtures(t *testing.T) []*Package {

@@ -5,12 +5,21 @@
 // one convention; cmd/dbsplint runs the whole suite over the module
 // and fails CI on any finding.
 //
-// The framework is deliberately parse-only (go/ast + go/parser, no
-// go/types): every invariant here is a syntactic discipline — panic
-// message prefixes, guard statements, literal shapes, helper routing —
-// so full type information would buy nothing but a module-aware
-// importer. That keeps dbsplint dependency-free (go.mod has no
-// requirements) and fast enough to run on every push.
+// The framework has two layers. The syntactic analyzers (nilguard,
+// panicmsg, exitdiscipline) inspect parse trees only — their invariants
+// are purely syntactic disciplines. The dbspvet typed pass (typed.go)
+// adds full go/types information through a custom importer that checks
+// the module's own packages in dependency order from the Load results,
+// resolving out-of-module imports to empty placeholders; the typed
+// analyzers (stepshape, stepconfine, detseed, costcharge) use it to
+// statically prove the paper's Section 2 program discipline, handler
+// state confinement, sweep determinism and the cost-partition identity.
+// Everything stays in the standard library, so dbsplint remains
+// dependency-free (go.mod has no requirements) and fast enough to run
+// on every push.
+//
+// Findings can be suppressed with a justified directive — see
+// directive.go for the //lint:ignore form.
 package lint
 
 import (
@@ -66,14 +75,18 @@ func (f Finding) String() string {
 }
 
 // Run applies every analyzer to every package and returns the findings
-// sorted by file, line, then analyzer name.
+// sorted by file, line, then analyzer name. The typed pass runs first
+// (idempotently) so typed analyzers see go/types information, and
+// //lint:ignore directives are applied before sorting.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	TypeCheck(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &findings})
 		}
 	}
+	findings = applyDirectives(pkgs, analyzers, findings)
 	sort.Slice(findings, func(i, j int) bool {
 		fi, fj := findings[i], findings[j]
 		if fi.Pos.Filename != fj.Pos.Filename {
@@ -87,14 +100,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
-// Analyzers returns the full suite in display order.
+// Analyzers returns the full suite in display order: the syntactic
+// checks first, then the dbspvet typed pass.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NilGuard,
 		PanicMsg,
-		LastStep,
 		ExitDiscipline,
-		ObsPartition,
+		StepShape,
+		StepConfine,
+		DetSeed,
+		CostCharge,
 	}
 }
 

@@ -3,11 +3,15 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -25,13 +29,26 @@ type Package struct {
 	Fset *token.FileSet
 	// Files holds the parsed non-test files, sorted by filename.
 	Files []*ast.File
+
+	// Types and Info are the typed view of the package, populated by
+	// TypeCheck (which Run calls). Out-of-module imports resolve to
+	// empty placeholder packages, so Info is best-effort: analyzers
+	// must tolerate missing types for expressions that touch them.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects the type-check diagnostics. With placeholder
+	// imports most are expected noise (undeclared stdlib members); they
+	// are kept for debugging, not reported as findings.
+	TypeErrors []error
 }
 
 // Load parses every non-test package under root, a module rooted at
 // import path modpath. Directories named testdata or vendor, and
 // hidden directories, are skipped — the same pruning the go tool
-// applies. Files that fail to parse abort the load: dbsplint runs
-// against code that must already build.
+// applies, and files whose //go:build constraint does not match the
+// host platform are excluded the same way the go tool excludes them.
+// Files that fail to parse abort the load: dbsplint runs against code
+// that must already build.
 func Load(root, modpath string) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -57,6 +74,9 @@ func Load(root, modpath string) ([]*Package, error) {
 		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("lint: %w", err)
+		}
+		if excludedByBuildTags(file) {
+			return nil
 		}
 		dir := filepath.Dir(path)
 		key := dir + "\x00" + file.Name.Name
@@ -94,6 +114,77 @@ func Load(root, modpath string) ([]*Package, error) {
 		return pkgs[i].Name < pkgs[j].Name
 	})
 	return pkgs, nil
+}
+
+// excludedByBuildTags reports whether file carries a //go:build
+// constraint (above the package clause) that the host platform does
+// not satisfy — e.g. //go:build ignore generator scripts or
+// other-OS files. Such files are not part of the package the go tool
+// builds, so analyzing them would report findings in dead code and,
+// worse, let their declarations confuse the typed pass.
+func excludedByBuildTags(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: keep the file, like a missing one
+			}
+			if !expr.Eval(buildTagSatisfied) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unixGOOS is the tag set the go tool folds into "unix".
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildTagSatisfied evaluates one build tag against the host
+// toolchain: GOOS, GOARCH, their "unix" umbrella, the gc compiler,
+// cgo, and go1.N release tags up to the running toolchain's version.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "cgo":
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		want, err := strconv.Atoi(rest)
+		if err != nil {
+			return false
+		}
+		return want <= goMinorVersion()
+	}
+	return false
+}
+
+// goMinorVersion extracts N from the running toolchain's go1.N.x
+// version string, or a permissive high value for devel toolchains.
+func goMinorVersion() int {
+	v := runtime.Version() // "go1.24.0", "devel go1.25-abcdef ..."
+	if i := strings.Index(v, "go1."); i >= 0 {
+		rest := v[i+len("go1."):]
+		end := 0
+		for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+			end++
+		}
+		if n, err := strconv.Atoi(rest[:end]); err == nil {
+			return n
+		}
+	}
+	return 1 << 30
 }
 
 // ModulePath extracts the module path from the go.mod file in dir.

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// StepShape statically evaluates dbsp.Program composite literals — and
+// every dbsp.Superstep literal the builder functions assemble — through
+// go/types constant propagation, enforcing the Section 2 program
+// discipline the simulation theorems (5, 10, 12) assume:
+//
+//   - V must be a positive power of two when constant;
+//   - every constant superstep label must lie in [0, log2 V] (the lower
+//     bound is checked even when V is unknown);
+//   - a Steps literal must end with a Label: 0 superstep (the global
+//     barrier of the "any D-BSP computation ends with a global
+//     synchronization" assumption) — this subsumes the retired
+//     syntactic laststep analyzer;
+//   - a TransposeRoute{M1, M2} declaration must have positive factors,
+//     and when the literal's V and label are both constant, M1·M2 must
+//     equal the superstep's cluster size V/2^label (the Section 5/6
+//     routing contract the BT simulator's riffle path relies on).
+//
+// Non-constant shapes are left to the runtime checks (Program.Validate
+// and internal/invariant): the analyzer reports only what it can prove.
+var StepShape = &Analyzer{
+	Name: "stepshape",
+	Doc:  "dbsp.Program literals must be well-shaped: power-of-two V, labels in [0, log2 V], a final global barrier, transpose factors matching the cluster size",
+	Run:  runStepShape,
+}
+
+func runStepShape(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return
+	}
+	// Superstep literals nested in a checked Program literal are
+	// remembered so the standalone walk does not double-report them.
+	inProgram := map[*ast.CompositeLit]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(lit)
+			switch {
+			case isTypeNamed(t, "internal/dbsp", "Program"):
+				checkProgramLit(pass, lit, inProgram)
+			case isTypeNamed(t, "internal/dbsp", "Superstep") && !inProgram[lit]:
+				v := int64(-1) // V unknown outside a Program literal
+				checkSuperstepLit(pass, lit, v, false)
+			}
+			return true
+		})
+	}
+}
+
+// checkProgramLit verifies one dbsp.Program composite literal.
+func checkProgramLit(pass *Pass, lit *ast.CompositeLit, inProgram map[*ast.CompositeLit]bool) {
+	pkg := pass.Pkg
+	var v int64
+	vKnown := false
+	if vExpr := fieldValue(lit, "V"); vExpr != nil {
+		if x, ok := constIntOf(pkg, vExpr); ok {
+			if x < 1 || x&(x-1) != 0 {
+				pass.Reportf(vExpr.Pos(),
+					"Program V = %d is not a positive power of two; the D-BSP cluster hierarchy needs V = 2^k (paper Section 2)", x)
+			} else {
+				v, vKnown = x, true
+			}
+		}
+	}
+	stepsLit, ok := fieldValue(lit, "Steps").(*ast.CompositeLit)
+	if !ok {
+		return // Steps built imperatively: runtime checks cover it
+	}
+	for i, elt := range stepsLit.Elts {
+		st, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		inProgram[st] = true
+		label, labelKnown := checkSuperstepLit(pass, st, v, vKnown)
+		if i == len(stepsLit.Elts)-1 && labelKnown && label != 0 {
+			pos := st.Pos()
+			if l := superstepLabel(st); l != nil {
+				pos = l.Pos()
+			}
+			pass.Reportf(pos,
+				"Program.Steps literal must end with a Label: 0 superstep (global barrier, paper Section 2); last superstep has Label: %d", label)
+		}
+	}
+}
+
+// checkSuperstepLit verifies one dbsp.Superstep composite literal
+// against machine size v (vKnown=false when the enclosing Program is
+// unknown or non-constant). It returns the superstep's label when that
+// is statically known (implicit zero counts as known).
+func checkSuperstepLit(pass *Pass, lit *ast.CompositeLit, v int64, vKnown bool) (int64, bool) {
+	pkg := pass.Pkg
+	label := int64(0)
+	labelKnown := true // a missing Label field is an implicit zero
+	if labelExpr := superstepLabel(lit); labelExpr != nil {
+		label, labelKnown = constIntOf(pkg, labelExpr)
+		if labelKnown {
+			switch {
+			case label < 0:
+				pass.Reportf(labelExpr.Pos(),
+					"superstep label %d is negative; labels index the cluster hierarchy and must lie in [0, log2 V]", label)
+			case vKnown && label > int64(log2(v)):
+				pass.Reportf(labelExpr.Pos(),
+					"superstep label %d exceeds log2(V) = %d for V = %d; no such cluster level exists (paper Section 2)",
+					label, log2(v), v)
+			}
+		}
+	}
+	if trExpr := fieldValue(lit, "Transpose"); trExpr != nil {
+		checkTransposeLit(pass, trExpr, label, labelKnown, v, vKnown)
+	}
+	return label, labelKnown
+}
+
+// checkTransposeLit verifies a Transpose field value of the form
+// &TransposeRoute{...} (or a plain composite literal) when its factors
+// are constants.
+func checkTransposeLit(pass *Pass, e ast.Expr, label int64, labelKnown bool, v int64, vKnown bool) {
+	pkg := pass.Pkg
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ue.X
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return // built elsewhere: the runtime transpose check covers it
+	}
+	m1Expr, m2Expr := fieldValue(lit, "M1"), fieldValue(lit, "M2")
+	if m1Expr == nil && m2Expr == nil && len(lit.Elts) == 2 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			m1Expr, m2Expr = lit.Elts[0], lit.Elts[1]
+		}
+	}
+	m1, ok1 := int64(0), false
+	m2, ok2 := int64(0), false
+	if m1Expr != nil {
+		if m1, ok1 = constIntOf(pkg, m1Expr); ok1 && m1 < 1 {
+			pass.Reportf(m1Expr.Pos(), "TransposeRoute.M1 = %d must be positive", m1)
+			return
+		}
+	}
+	if m2Expr != nil {
+		if m2, ok2 = constIntOf(pkg, m2Expr); ok2 && m2 < 1 {
+			pass.Reportf(m2Expr.Pos(), "TransposeRoute.M2 = %d must be positive", m2)
+			return
+		}
+	}
+	// An omitted factor is an implicit zero — never a legal transpose.
+	if m1Expr == nil {
+		m1, ok1 = 0, true
+	}
+	if m2Expr == nil {
+		m2, ok2 = 0, true
+	}
+	if ok1 && ok2 && (m1 < 1 || m2 < 1) {
+		pass.Reportf(lit.Pos(), "TransposeRoute{%d, %d} factors must be positive", m1, m2)
+		return
+	}
+	if ok1 && ok2 && labelKnown && vKnown {
+		if cs := v >> uint(label); m1*m2 != cs {
+			pass.Reportf(lit.Pos(),
+				"TransposeRoute %dx%d does not cover the label-%d cluster: M1*M2 = %d, cluster size is %d (the BT riffle routing of paper Section 6 needs the exact factorization)",
+				m1, m2, label, m1*m2, cs)
+		}
+	}
+}
+
+// log2 returns floor(log2(v)) for v >= 1.
+func log2(v int64) int64 {
+	k := int64(0)
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+// fieldValue returns the value of the named field in a keyed composite
+// literal, or nil.
+func fieldValue(lit *ast.CompositeLit, field string) ast.Expr {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// superstepLabel returns the Label expression of a Superstep composite
+// literal: the Label key's value in keyed form, the first element in
+// positional form, nil when absent (implicit zero).
+func superstepLabel(lit *ast.CompositeLit) ast.Expr {
+	if len(lit.Elts) == 0 {
+		return nil
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+		return fieldValue(lit, "Label")
+	}
+	return lit.Elts[0]
+}

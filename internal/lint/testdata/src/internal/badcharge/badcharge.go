@@ -1,0 +1,34 @@
+// Package badcharge is a lint fixture for the costcharge analyzer's
+// typed resolution: counter names assembled from named constants,
+// constant concatenation, and cost-window helpers recognized by object
+// identity must still reconcile with the costPhases partition.
+package badcharge
+
+// costPhases declares the partition the typed charges must match.
+var costPhases = []string{"compute", "place"}
+
+// simPrefix exercises named-constant resolution of the metric prefix.
+const simPrefix = "chg.cost."
+
+// Registry is a minimal metric-resolver shape.
+type Registry struct{}
+
+// FloatCounter resolves a float counter by name.
+func (r *Registry) FloatCounter(name string) *float64 { return nil }
+
+// phaseWindow charges through the helper shape — a constant ".cost."
+// prefix concatenated with the name parameter — which the analyzer
+// resolves at call sites by object identity, not by the name "phase".
+func (r *Registry) phaseWindow(name string) {
+	_ = r.FloatCounter(simPrefix + name)
+}
+
+// Charge exercises every resolution form.
+func Charge(r *Registry) {
+	_ = r.FloatCounter(simPrefix + "compute")     // declared: no finding
+	_ = r.FloatCounter("chg" + ".cost." + "comm") // finding: "comm" undeclared
+	r.phaseWindow("place")                        // declared: no finding
+	r.phaseWindow("route")                        // finding: "route" undeclared
+	r.phaseWindow("deliver.sub")                  // sub-phase: exempt
+	_ = r.FloatCounter(simPrefix + "total")       // the total: exempt
+}

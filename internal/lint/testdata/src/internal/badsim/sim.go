@@ -1,4 +1,4 @@
-// Package badsim is a lint fixture for the obspartition analyzer:
+// Package badsim is a lint fixture for the costcharge analyzer:
 // charged cost phases must match the declared costPhases partition.
 package badsim
 

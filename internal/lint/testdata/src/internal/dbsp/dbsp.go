@@ -1,0 +1,63 @@
+// Package dbsp mirrors the real module's program-shape types
+// (Program, Superstep, TransposeRoute, Ctx) so the typed fixture
+// packages type-check self-contained inside the fixture module: the
+// typed analyzers identify these types by package-path suffix
+// ("internal/dbsp"), which this mirror and the real repro/internal/dbsp
+// both satisfy.
+package dbsp
+
+// Word is the machine word.
+type Word = int64
+
+// Layout fixes the context memory layout.
+type Layout struct {
+	Data, MaxMsgs int
+}
+
+// Ctx is the per-processor execution context.
+type Ctx struct {
+	id, v int
+}
+
+// ID returns the processor index.
+func (c *Ctx) ID() int { return c.id }
+
+// V returns the machine size.
+func (c *Ctx) V() int { return c.v }
+
+// Load reads data word i.
+func (c *Ctx) Load(i int) Word { return 0 }
+
+// Store writes data word i.
+func (c *Ctx) Store(i int, w Word) {}
+
+// Send queues a message to processor dest.
+func (c *Ctx) Send(dest int, w Word) {}
+
+// NumRecv returns the delivered-message count.
+func (c *Ctx) NumRecv() int { return 0 }
+
+// Recv returns delivered message i.
+func (c *Ctx) Recv(i int) (int, Word) { return 0, 0 }
+
+// TransposeRoute declares a superstep's traffic as an M1 x M2 cluster
+// transpose.
+type TransposeRoute struct {
+	M1, M2 int
+}
+
+// Superstep is one labelled superstep.
+type Superstep struct {
+	Label     int
+	Run       func(c *Ctx)
+	Transpose *TransposeRoute
+}
+
+// Program is a D-BSP program.
+type Program struct {
+	Name   string
+	V      int
+	Layout Layout
+	Steps  []Superstep
+	Init   func(p int, data []Word)
+}

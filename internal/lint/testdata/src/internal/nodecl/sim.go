@@ -1,4 +1,4 @@
-// Package nodecl is a lint fixture for the obspartition analyzer: a
+// Package nodecl is a lint fixture for the costcharge analyzer: a
 // package charging phase counters must declare costPhases.
 package nodecl
 

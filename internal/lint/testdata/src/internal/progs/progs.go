@@ -1,8 +1,14 @@
-// Package progs is a lint fixture for the laststep analyzer: Program
-// literals must end with a Label: 0 superstep.
+// Package progs is a lint fixture for the stepshape analyzer: Program
+// literals must declare a power-of-two V, labels inside [0, log2 V], a
+// final global barrier, and transpose factorizations that cover their
+// cluster — all evaluated through constant propagation.
 package progs
 
-import "repro/internal/dbsp"
+import "fixture.example/internal/dbsp"
+
+// negLabel exercises constant propagation: the analyzer folds named
+// constants, not just literals.
+const negLabel = 3 - 4
 
 // Bad ends with a label-2 superstep: finding.
 var Bad = dbsp.Program{
@@ -14,12 +20,57 @@ var Bad = dbsp.Program{
 	},
 }
 
-// Good ends with a global barrier: no finding.
-var Good = dbsp.Program{
-	Name: "good",
+// BadV declares a machine size that is not a power of two: finding.
+var BadV = dbsp.Program{
+	Name: "bad-v",
+	V:    12,
+	Steps: []dbsp.Superstep{
+		{Label: 0},
+	},
+}
+
+// BadLabel uses a label beyond log2(V): finding.
+var BadLabel = dbsp.Program{
+	Name: "bad-label",
 	V:    8,
 	Steps: []dbsp.Superstep{
+		{Label: 4},
+		{Label: 0},
+	},
+}
+
+// BadNeg folds a negative label out of a named constant: finding.
+var BadNeg = dbsp.Program{
+	Name: "bad-neg",
+	V:    8,
+	Steps: []dbsp.Superstep{
+		{Label: negLabel},
+		{Label: 0},
+	},
+}
+
+// BadTranspose declares a 2x4 transpose on a label-1 cluster of size 4:
+// finding.
+var BadTranspose = dbsp.Program{
+	Name: "bad-transpose",
+	V:    8,
+	Steps: []dbsp.Superstep{
+		{Label: 1, Transpose: &dbsp.TransposeRoute{M1: 2, M2: 4}},
+		{Label: 0},
+	},
+}
+
+// goodV exercises constant folding of the machine size.
+const goodV = 1 << 3
+
+// Good is fully disciplined — a legal transpose, a constant-folded V
+// and a final global barrier: no findings.
+var Good = dbsp.Program{
+	Name: "good",
+	V:    goodV,
+	Steps: []dbsp.Superstep{
 		{Label: 2},
+		{Label: 1, Transpose: &dbsp.TransposeRoute{M1: 2, M2: 2}},
 		{Label: 0},
 	},
 }

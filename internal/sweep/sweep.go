@@ -208,6 +208,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 					p.Obs = obs.New(reg, sink)
 				}
 				started.Inc()
+				//lint:ignore detseed wall-clock capture only feeds Outcome.Wall and the wall_ms histogram, never the byte-identical job results
 				begin := time.Now()
 				val, err := runJob(ctx, job, p)
 				out.Wall = time.Since(begin)
