@@ -182,7 +182,11 @@ func (s *sorter) copyRecords(src, dst, n int64) {
 
 // sortBaseRuns sorts every minChunk-record run in place: each run is
 // staged to the innermost buffer, insertion-sorted at O(1) addresses,
-// and written back.
+// and written back. The per-record shuffles go through MoveRange —
+// whose bulk implementation charges each record as one fold instead of
+// three virtual f.Cost calls — so the record width never appears in a
+// word loop here. Do not restructure the comparison/move order: the
+// charged cost sequence is pinned by the experiment tables.
 func (s *sorter) sortBaseRuns(data int64) {
 	rec := s.p.rec
 	buf := s.p.bufAddr(0, bufA, s.hot, s.cold)

@@ -77,9 +77,8 @@ func (m *Machine) BlockCopy(x, y, b int64) {
 	if srcLo <= y && dstLo <= x {
 		panic(fmt.Sprintf("bt: BlockCopy overlap: src [%d,%d] dst [%d,%d]", srcLo, x, dstLo, y))
 	}
-	f := m.AccessFunc()
-	c := f.Cost(x)
-	if cy := f.Cost(y); cy > c {
+	c := m.CostAt(x)
+	if cy := m.CostAt(y); cy > c {
 		c = cy
 	}
 	m.AddCost(c + float64(b))
@@ -91,12 +90,9 @@ func (m *Machine) BlockCopy(x, y, b int64) {
 	if m.TraceBlock != nil {
 		m.TraceBlock(x, y, b)
 	}
-	// Move the words without per-word charges: the transfer is
-	// pipelined and already paid for above.
-	src := m.Snapshot(srcLo, b)
-	for i := int64(0); i < b; i++ {
-		m.Poke(dstLo+i, src[i])
-	}
+	// Move the words without per-word charges or per-copy allocation:
+	// the transfer is pipelined and already paid for above.
+	m.CopyUncharged(srcLo, dstLo, b)
 }
 
 // CopyRange copies n words from [src, src+n) to [dst, dst+n) using a

@@ -240,37 +240,34 @@ func (st *state) extract(p *deliveryPlan, n int64, lo int) int64 {
 	w := stream.NewWriter(st.m, p.geo, p.streamHot(1), p.streamCold(1), p.ctx, n*mu)
 	rw := stream.NewWriter(st.m, p.geo, p.streamHot(2), p.streamCold(2), p.rec, recWords*p.mcap)
 
-	inCountOff := l.InCountOff()
-	outCountOff := l.OutCountOff()
-	firstOut := l.OutboxOff(0)
+	// The context layout is contiguous — data, inbox count, inbox pairs,
+	// outbox count, outbox pairs — so the scan is a few special words
+	// between bulk-piped default runs (Pipe charges exactly like the
+	// word loop `w.Put(r.Next())` it replaces).
+	inCountOff := int64(l.InCountOff())
+	outCountOff := int64(l.OutCountOff())
+	firstOut := int64(l.OutboxOff(0))
 	var msgs int64
 	for b := int64(0); b < n; b++ {
 		src := lo + int(b)
-		sent := int64(0)
-		for off := 0; off < int(mu); off++ {
-			word := r.Next()
-			switch {
-			case off == inCountOff:
-				w.Put(0)
-			case off == outCountOff:
-				sent = word
-				w.Put(0)
-			case off >= firstOut && off < firstOut+2*int(sent) && (off-firstOut)%2 == 0:
-				// Outbox entry: this word is the destination, the next
-				// the payload.
-				dest := word
-				payload := r.Next()
-				off++
-				w.Put(word)
-				w.Put(payload)
-				rw.Put(dest*(p.mcap+1) + msgs)
-				rw.Put(int64(src))
-				rw.Put(payload)
-				msgs++
-			default:
-				w.Put(word)
-			}
+		stream.Pipe(r, w, inCountOff)
+		r.Next()
+		w.Put(0)
+		stream.Pipe(r, w, outCountOff-inCountOff-1)
+		sent := r.Next()
+		w.Put(0)
+		for e := int64(0); e < sent; e++ {
+			// Outbox entry: destination word, then payload word.
+			dest := r.Next()
+			payload := r.Next()
+			w.Put(dest)
+			w.Put(payload)
+			rw.Put(dest*(p.mcap+1) + msgs)
+			rw.Put(int64(src))
+			rw.Put(payload)
+			msgs++
 		}
+		stream.Pipe(r, w, mu-firstOut-2*sent)
 	}
 	w.Close()
 	rw.Close()
@@ -289,8 +286,8 @@ func (st *state) mergeInboxes(p *deliveryPlan, n int64, lo int, msgs int64) {
 	rr := stream.NewReader(st.m, p.geo, p.streamHot(2), p.streamCold(2), p.rec, recWords*msgs)
 	stash := p.stashHot()
 
-	inCountOff := l.InCountOff()
-	firstIn := l.InboxOff(0)
+	inCountOff := int64(l.InCountOff())
+	firstIn := int64(l.InboxOff(0))
 	for b := int64(0); b < n; b++ {
 		dest := int64(lo) + b
 		// Collect this destination's messages into the hot stash.
@@ -308,23 +305,18 @@ func (st *state) mergeInboxes(p *deliveryPlan, n int64, lo int, msgs int64) {
 		if cnt > q {
 			panic("btsim: inbox overflow during delivery")
 		}
-		// Stream the context through, splicing in the inbox.
-		for off := 0; off < int(mu); off++ {
-			word := r.Next()
-			switch {
-			case off == inCountOff:
-				w.Put(cnt)
-			case off >= firstIn && off < firstIn+2*int(cnt):
-				k := int64(off-firstIn) / 2
-				if (off-firstIn)%2 == 0 {
-					w.Put(st.m.Read(stash + 2*k))
-				} else {
-					w.Put(st.m.Read(stash + 2*k + 1))
-				}
-			default:
-				w.Put(word)
-			}
+		// Stream the context through, splicing in the inbox: the data
+		// prefix and the tail after the spliced entries are bulk pipes;
+		// the inbox words themselves interleave a stash read per word
+		// (the inbox directly follows its count in the layout).
+		stream.Pipe(r, w, inCountOff)
+		r.Next()
+		w.Put(cnt)
+		for k := int64(0); k < 2*cnt; k++ {
+			r.Next()
+			w.Put(st.m.Read(stash + k))
 		}
+		stream.Pipe(r, w, mu-firstIn-2*cnt)
 	}
 	w.Close()
 	if rr.More() {

@@ -30,9 +30,7 @@ func SimulateNaive(prog *dbsp.Program, f cost.Func) (*Result, error) {
 	m := bt.New(f, memWords)
 	init := dbsp.NewContexts(prog)
 	for p, ctx := range init {
-		for i, w := range ctx {
-			m.Poke(int64(p)*mu+int64(i), w)
-		}
+		m.PokeRange(int64(p)*mu, ctx)
 	}
 	st := &state{
 		prog: prog, m: m, f: f, mu: mu, v: v, logv: dbsp.Log2(v),

@@ -114,28 +114,25 @@ func (st *state) extractRoute(p *deliveryPlan, n int64, lo int) {
 	w := stream.NewWriter(st.m, p.geo, p.streamHot(1), p.streamCold(1), p.ctx, n*mu)
 	rw := stream.NewWriter(st.m, p.geo, p.streamHot(2), p.streamCold(2), p.rec, routeRecWords*n)
 
-	inCountOff := l.InCountOff()
-	outCountOff := l.OutCountOff()
-	payloadOff := l.OutboxOff(0) + 1
+	inCountOff := int64(l.InCountOff())
+	outCountOff := int64(l.OutCountOff())
+	payloadOff := int64(l.OutboxOff(0)) + 1
+	if payloadOff >= mu {
+		panic("btsim: transpose superstep context has no outbox payload slot")
+	}
 	for b := int64(0); b < n; b++ {
-		emitted := false
-		for off := 0; off < int(mu); off++ {
-			word := r.Next()
-			switch off {
-			case inCountOff, outCountOff:
-				w.Put(0)
-			case payloadOff:
-				rw.Put(int64(lo) + b) // src
-				rw.Put(word)          // payload
-				emitted = true
-				w.Put(word)
-			default:
-				w.Put(word)
-			}
-		}
-		if !emitted {
-			panic("btsim: transpose superstep context has no outbox payload slot")
-		}
+		stream.Pipe(r, w, inCountOff)
+		r.Next()
+		w.Put(0)
+		stream.Pipe(r, w, outCountOff-inCountOff-1)
+		r.Next()
+		w.Put(0)
+		stream.Pipe(r, w, payloadOff-outCountOff-1)
+		payload := r.Next()
+		rw.Put(int64(lo) + b) // src
+		rw.Put(payload)
+		w.Put(payload)
+		stream.Pipe(r, w, mu-payloadOff-1)
 	}
 	w.Close()
 	rw.Close()
@@ -151,24 +148,19 @@ func (st *state) mergeRoute(p *deliveryPlan, n int64) {
 	w := stream.NewWriter(st.m, p.geo, p.streamHot(1), p.streamCold(1), p.ctx, n*mu)
 	rr := stream.NewReader(st.m, p.geo, p.streamHot(2), p.streamCold(2), p.rec, routeRecWords*n)
 
-	inCountOff := l.InCountOff()
-	srcOff := l.InboxOff(0)
+	inCountOff := int64(l.InCountOff())
+	srcOff := int64(l.InboxOff(0))
 	for b := int64(0); b < n; b++ {
 		src := rr.Next()
 		payload := rr.Next()
-		for off := 0; off < int(mu); off++ {
-			word := r.Next()
-			switch off {
-			case inCountOff:
-				w.Put(1)
-			case srcOff:
-				w.Put(src)
-			case srcOff + 1:
-				w.Put(payload)
-			default:
-				w.Put(word)
-			}
-		}
+		stream.Pipe(r, w, inCountOff)
+		r.Next()
+		w.Put(1)
+		r.Next()
+		w.Put(src)
+		r.Next()
+		w.Put(payload)
+		stream.Pipe(r, w, mu-srcOff-2)
 	}
 	w.Close()
 }

@@ -149,9 +149,7 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 	m := bt.New(f, memWords)
 	init := dbsp.NewContexts(prog)
 	for p, ctx := range init {
-		for i, w := range ctx {
-			m.Poke(int64(p)*mu+int64(i), w)
-		}
+		m.PokeRange(int64(p)*mu, ctx)
 	}
 
 	st := &state{
@@ -171,7 +169,7 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 	// Per-level word-access cost and the block-size profile are
 	// recomputed through the machine's trace hooks so the always-on
 	// accounting pays nothing when observability is off.
-	var levelCost [64]float64
+	var levelCost [hmm.DepthBuckets]float64
 	if o := opts.Obs; o != nil {
 		st.obs = o
 		st.roundsC = o.Counter("bt.rounds")

@@ -29,9 +29,7 @@ func SimulateNaive(prog *dbsp.Program, f cost.Func) (*Result, error) {
 	m := hmm.New(f, int64(v)*mu)
 	init := dbsp.NewContexts(prog)
 	for p, ctx := range init {
-		for i, w := range ctx {
-			m.Poke(int64(p)*mu+int64(i), w)
-		}
+		m.PokeRange(int64(p)*mu, ctx)
 	}
 
 	for s, step := range prog.Steps {

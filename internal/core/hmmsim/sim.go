@@ -168,16 +168,14 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 	// distribution is given, not charged.
 	init := dbsp.NewContexts(prog)
 	for p, ctx := range init {
-		for i, w := range ctx {
-			m.Poke(int64(p)*mu+int64(i), w)
-		}
+		m.PokeRange(int64(p)*mu, ctx)
 	}
 
 	// Per-level access cost. The machine's always-on accounting keeps
 	// only access counts per level (Stats.Depth); the per-level cost
 	// split is recomputed through the Trace hook so the charge() hot
 	// path pays nothing when observability is off.
-	var levelCost [64]float64
+	var levelCost [hmm.DepthBuckets]float64
 	if opts.Obs != nil {
 		m.Trace = func(_ hmm.Op, x int64) {
 			levelCost[obs.BucketOf(x)] += f.Cost(x)

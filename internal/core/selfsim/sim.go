@@ -96,10 +96,7 @@ func Simulate(prog *dbsp.Program, g cost.Func, vPrime int, opts *Options) (*Resu
 	for j := 0; j < vPrime; j++ {
 		s.modules[j] = hmm.New(g, int64(s.perHost)*s.mu)
 		for k := 0; k < s.perHost; k++ {
-			ctx := init[j*s.perHost+k]
-			for i, w := range ctx {
-				s.modules[j].Poke(int64(k)*s.mu+int64(i), w)
-			}
+			s.modules[j].PokeRange(int64(k)*s.mu, init[j*s.perHost+k])
 		}
 	}
 	if o := opts.Obs; o != nil {

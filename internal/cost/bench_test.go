@@ -1,0 +1,59 @@
+package cost
+
+import "testing"
+
+// The compile benchmarks quantify the charge fast path in isolation:
+// direct formula evaluation (math.Pow / math.Log2 per call) against the
+// compiled dense-table lookup and the bulk range sum.
+
+func benchFuncs() []Func {
+	return []Func{Poly{Alpha: 0.5}, Log{}, Linear{Scale: 64}}
+}
+
+func BenchmarkCostDirect(b *testing.B) {
+	const n = 1 << 16
+	for _, f := range benchFuncs() {
+		b.Run(f.Name(), func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				for x := int64(0); x < n; x++ {
+					sum += f.Cost(x)
+				}
+			}
+			sink = sum
+		})
+	}
+}
+
+func BenchmarkCostCompiled(b *testing.B) {
+	const n = 1 << 16
+	for _, f := range benchFuncs() {
+		c := Compile(f, n-1)
+		b.Run(f.Name(), func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				for x := int64(0); x < n; x++ {
+					sum += c.Cost(x)
+				}
+			}
+			sink = sum
+		})
+	}
+}
+
+func BenchmarkCostRange(b *testing.B) {
+	const n = 1 << 16
+	for _, f := range benchFuncs() {
+		c := Compile(f, n-1)
+		b.Run(f.Name(), func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				sum = c.CostRange(0, n)
+			}
+			sink = sum
+		})
+	}
+}
+
+// sink defeats dead-code elimination in the benchmarks above.
+var sink float64

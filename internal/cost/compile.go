@@ -1,0 +1,139 @@
+package cost
+
+import (
+	"math/bits"
+	"reflect"
+	"sync"
+)
+
+// denseWords caps the dense prefix of a compiled access function: every
+// address below the cap gets a precomputed f(x) entry (8 MiB of float64
+// at the cap, shared across machines via the compile cache).
+const denseWords = int64(1) << 20
+
+// Compiled is a lookup-table form of an access function. It implements
+// Func and returns bit-identical float64 values to the function it was
+// compiled from: dense-prefix entries are the stored results of the
+// direct formula, power-of-two buckets are only used where the function
+// is provably constant on the whole bucket (probed under the Func
+// nondecreasing contract), and everything else falls back to the direct
+// formula. Charging through a Compiled therefore changes no measured
+// model cost — it is pure mechanism.
+type Compiled struct {
+	f        Func
+	dense    []float64
+	bucket   [66]float64 // bucket[k] = f on [2^(k-1), 2^k) when bucketOK[k]
+	bucketOK [66]bool
+}
+
+// Compile returns a compiled form of f covering addresses [0, maxAddr].
+// Results are cached per (f, rounded size) for comparable Func values,
+// so machines recreated in a loop (benchmarks, sweeps) share one table.
+// Compiling an already-compiled function recompiles its base.
+func Compile(f Func, maxAddr int64) *Compiled {
+	if c, ok := f.(*Compiled); ok {
+		if int64(len(c.dense)) > maxAddr || int64(len(c.dense)) == denseWords {
+			return c
+		}
+		f = c.f
+	}
+	size := maxAddr + 1
+	if size < 1 {
+		size = 1
+	}
+	// Round the dense size up to a power of two so nearby machine sizes
+	// share one cache entry.
+	rsize := int64(1)
+	if size > 1 {
+		rsize = int64(1) << uint(bits.Len64(uint64(size-1)))
+	}
+	if rsize > denseWords || rsize <= 0 {
+		rsize = denseWords
+	}
+	if !reflect.TypeOf(f).Comparable() {
+		return compile(f, rsize)
+	}
+	key := compileKey{f: f, size: rsize}
+	if v, ok := compileCache.Load(key); ok {
+		return v.(*Compiled)
+	}
+	c := compile(f, rsize)
+	v, _ := compileCache.LoadOrStore(key, c)
+	return v.(*Compiled)
+}
+
+type compileKey struct {
+	f    Func
+	size int64
+}
+
+var compileCache sync.Map // compileKey -> *Compiled
+
+func compile(f Func, denseLen int64) *Compiled {
+	c := &Compiled{f: f, dense: make([]float64, denseLen)}
+	for x := range c.dense {
+		c.dense[x] = f.Cost(int64(x))
+	}
+	// Bucket k covers addresses of bit-length k: [2^(k-1), 2^k). The
+	// Func contract says f is nondecreasing, so f(2^(k-1)) == f(2^k - 1)
+	// proves f constant on the whole bucket; only then is the bucket
+	// constant used. Bit-lengths above 63 exceed int64 addresses.
+	c.bucket[0], c.bucketOK[0] = f.Cost(0), true
+	for k := 1; k <= 63; k++ {
+		lo := int64(1) << uint(k-1)
+		hi := lo<<1 - 1 // 2^k - 1; for k == 63 this is MaxInt64
+		flo, fhi := f.Cost(lo), f.Cost(hi)
+		if flo == fhi {
+			c.bucket[k], c.bucketOK[k] = flo, true
+		}
+	}
+	return c
+}
+
+// Base returns the access function this table was compiled from.
+func (c *Compiled) Base() Func { return c.f }
+
+// Dense returns the dense-prefix table: Dense()[x] == f(x) for every
+// x < len(Dense()). Callers must treat it as read-only; machines cache
+// it so their per-word charge path is a single slice load.
+func (c *Compiled) Dense() []float64 { return c.dense }
+
+// Cost returns f(x), bit-identical to the base function.
+func (c *Compiled) Cost(x int64) float64 {
+	if x >= 0 && x < int64(len(c.dense)) {
+		return c.dense[x]
+	}
+	k := bits.Len64(uint64(x))
+	if c.bucketOK[k] {
+		return c.bucket[k]
+	}
+	return c.f.Cost(x)
+}
+
+// Name returns the base function's name.
+func (c *Compiled) Name() string { return c.f.Name() }
+
+// AddRange folds Σ f(x) over x in [lo, hi) into acc with one addition
+// per address in ascending order — the exact float64 operation chain of
+// `for x := lo; x < hi; x++ { acc += f.Cost(x) }`, so bulk charges
+// accumulate bit-identically to per-word charging. lo must be >= 0.
+func (c *Compiled) AddRange(acc float64, lo, hi int64) float64 {
+	x := lo
+	dh := hi
+	if dh > int64(len(c.dense)) {
+		dh = int64(len(c.dense))
+	}
+	for d := c.dense; x < dh; x++ {
+		acc += d[x]
+	}
+	for ; x < hi; x++ {
+		acc += c.Cost(x)
+	}
+	return acc
+}
+
+// CostRange returns Σ f(x) over x in [lo, hi), accumulated left to
+// right (AddRange with a zero accumulator).
+func (c *Compiled) CostRange(lo, hi int64) float64 {
+	return c.AddRange(0, lo, hi)
+}

@@ -1,0 +1,138 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// compileFuncs is the access-function set the equality tests cover —
+// every concrete Func the experiments use.
+func compileFuncs() []Func {
+	return []Func{
+		Poly{Alpha: 0.5},
+		Poly{Alpha: 0.25},
+		Log{},
+		Linear{Scale: 64},
+		Const{C: 3},
+		Table{Bounds: []int64{64, 4096, 1 << 18}, Costs: []float64{1, 4, 16, 64}, Label: "l4"},
+	}
+}
+
+// TestCompiledExhaustiveEquality checks Compiled.Cost == Func.Cost,
+// bit for bit, over the whole dense prefix [0, 2^20).
+func TestCompiledExhaustiveEquality(t *testing.T) {
+	for _, f := range compileFuncs() {
+		c := Compile(f, denseWords-1)
+		for x := int64(0); x < denseWords; x++ {
+			if got, want := c.Cost(x), f.Cost(x); got != want {
+				t.Fatalf("%s: Compile.Cost(%d) = %v (bits %x), want %v (bits %x)",
+					f.Name(), x, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestCompiledBoundaryEquality samples addresses around every power of
+// two up to 2^47 — past the dense prefix, where lookups go through the
+// bucket constants or the direct-formula fallback.
+func TestCompiledBoundaryEquality(t *testing.T) {
+	for _, f := range compileFuncs() {
+		c := Compile(f, (int64(1)<<47)-1)
+		for k := uint(1); k <= 47; k++ {
+			p := int64(1) << k
+			for _, x := range []int64{p - 2, p - 1, p, p + 1, p + p/3} {
+				if x < 0 {
+					continue
+				}
+				if got, want := c.Cost(x), f.Cost(x); got != want {
+					t.Fatalf("%s: Compile.Cost(%d) = %v, want %v (near 2^%d)",
+						f.Name(), x, got, want, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCostRangeMatchesLoop checks that the bulk sum is the exact
+// float64 fold of the per-address loop, including ranges spanning the
+// dense-prefix boundary.
+func TestCostRangeMatchesLoop(t *testing.T) {
+	ranges := [][2]int64{
+		{0, 0}, {0, 1}, {0, 1000}, {77, 12345},
+		{denseWords - 100, denseWords + 100}, // spans the dense boundary
+		{denseWords + 5, denseWords + 500},
+	}
+	for _, f := range compileFuncs() {
+		c := Compile(f, denseWords+1000)
+		for _, r := range ranges {
+			var want float64
+			for x := r[0]; x < r[1]; x++ {
+				want += f.Cost(x)
+			}
+			if got := c.CostRange(r[0], r[1]); got != want {
+				t.Errorf("%s: CostRange(%d, %d) = %v (bits %x), want %v (bits %x)",
+					f.Name(), r[0], r[1], got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			// AddRange must fold from the accumulator, not sum separately.
+			acc := 0.1
+			want2 := acc
+			for x := r[0]; x < r[1]; x++ {
+				want2 += f.Cost(x)
+			}
+			if got := c.AddRange(acc, r[0], r[1]); got != want2 {
+				t.Errorf("%s: AddRange(0.1, %d, %d) = %v, want %v",
+					f.Name(), r[0], r[1], got, want2)
+			}
+		}
+	}
+}
+
+// TestCompileCache pins the sharing contract: comparable functions with
+// pow2-rounded sizes share one table, and recompiling a *Compiled is a
+// no-op when it already covers the requested range.
+func TestCompileCache(t *testing.T) {
+	f := Poly{Alpha: 0.5}
+	a := Compile(f, 1000)
+	b := Compile(f, 1023) // same pow2-rounded size
+	if a != b {
+		t.Error("Compile did not share the cache entry for pow2-equal sizes")
+	}
+	if c := Compile(a, 500); c != a {
+		t.Error("recompiling a covering Compiled did not return it unchanged")
+	}
+	if got := len(a.Dense()); got != 1024 {
+		t.Errorf("dense prefix = %d words, want pow2-rounded 1024", got)
+	}
+	// Non-comparable functions (Table holds slices) must not panic.
+	tab := Table{Bounds: []int64{8}, Costs: []float64{1, 2}}
+	if c := Compile(tab, 100); c.Cost(9) != 2 {
+		t.Error("compiled Table mismatch")
+	}
+}
+
+// TestCompiledName checks the Func facade.
+func TestCompiledName(t *testing.T) {
+	c := Compile(Log{}, 100)
+	if c.Name() != (Log{}).Name() {
+		t.Errorf("Name = %q, want %q", c.Name(), (Log{}).Name())
+	}
+	if c.Base() != (Log{}) {
+		t.Error("Base did not return the source function")
+	}
+}
+
+// TestTouchHMMCompiledRoute pins that the public TouchHMM helper (now
+// routed through the compiled table) still equals the direct loop.
+func TestTouchHMMCompiledRoute(t *testing.T) {
+	for _, f := range compileFuncs() {
+		for _, n := range []int64{0, 1, 100, 5000} {
+			var want float64
+			for x := int64(0); x < n; x++ {
+				want += f.Cost(x)
+			}
+			if got := TouchHMM(f, n); got != want {
+				t.Errorf("%s: TouchHMM(%d) = %v, want %v", f.Name(), n, got, want)
+			}
+		}
+	}
+}

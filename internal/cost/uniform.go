@@ -97,12 +97,10 @@ func MustUniform(f Func, cBound float64, maxX int64) {
 // TouchHMM returns the Fact 1 quantity: the exact cost Σ_{x=0}^{n-1} f(x)
 // of touching the first n cells of an f(x)-HMM, which Fact 1 bounds as
 // Θ(n·f(n)) for (2,c)-uniform f.
+// The sum is folded left to right through the compiled table, which is
+// bit-identical to the direct loop `sum += f.Cost(x)`.
 func TouchHMM(f Func, n int64) float64 {
-	var sum float64
-	for x := int64(0); x < n; x++ {
-		sum += f.Cost(x)
-	}
-	return sum
+	return Compile(f, n-1).CostRange(0, n)
 }
 
 // TouchHMMApprox returns Σ f(x) over x < n evaluated by geometric

@@ -82,14 +82,16 @@ func Run(prog *Program, g cost.Func) (*Result, error) {
 // optional pre-delivery observer, then delivery. verify controls the
 // engine-side Transpose declaration check; RunInspected disables it so
 // an inspector sees declaration violations instead of an engine error.
-func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func(), verify bool) (StepCost, error) {
+func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func(), verify bool, buf *stepBuffers) (StepCost, error) {
 	sc := StepCost{Label: st.Label}
 	if st.Run == nil {
 		return sc, nil // dummy superstep: no computation, no messages
 	}
 	v := prog.V
-	ops := make([]int64, v)
-	errs := make([]error, v)
+	ops, errs := buf.ops, buf.errs
+	for p := 0; p < v; p++ {
+		ops[p], errs[p] = 0, nil
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > v {
@@ -133,12 +135,30 @@ func runStepHooked(prog *Program, ctxs [][]Word, st Superstep, collect func(), v
 	if collect != nil {
 		collect()
 	}
-	h, err := Deliver(prog.Layout, ctxs)
+	h, err := deliverInto(prog.Layout, ctxs, buf.received)
 	if err != nil {
 		return sc, err
 	}
 	sc.H = h
 	return sc, nil
+}
+
+// stepBuffers holds the per-superstep scratch slices of one engine run.
+// The loop reuses them across supersteps instead of reallocating three
+// slices per superstep, which dominated the engine's allocation profile
+// on small programs.
+type stepBuffers struct {
+	ops      []int64
+	errs     []error
+	received []int
+}
+
+func newStepBuffers(v int) *stepBuffers {
+	return &stepBuffers{
+		ops:      make([]int64, v),
+		errs:     make([]error, v),
+		received: make([]int, v),
+	}
 }
 
 // verifyTranspose checks a Superstep.Transpose declaration against the
@@ -185,10 +205,20 @@ func runProc(prog *Program, ctxs [][]Word, st Superstep, p int, ops *int64, errO
 // sender), and outboxes are cleared afterwards — the exact discipline
 // the sequential simulators replicate so that final states coincide.
 func Deliver(l Layout, ctxs [][]Word) (h int, err error) {
+	return deliverInto(l, ctxs, make([]int, len(ctxs)))
+}
+
+// deliverInto is Deliver with a caller-owned received-count buffer
+// (len(ctxs) entries, contents ignored), so the engine loop can reuse
+// one across supersteps.
+func deliverInto(l Layout, ctxs [][]Word, received []int) (h int, err error) {
 	for _, ctx := range ctxs {
 		ctx[l.InCountOff()] = 0
 	}
-	received := make([]int, len(ctxs))
+	received = received[:len(ctxs)]
+	for i := range received {
+		received[i] = 0
+	}
 	for p, ctx := range ctxs {
 		sent := int(ctx[l.OutCountOff()])
 		if sent > h {

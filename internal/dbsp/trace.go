@@ -176,6 +176,7 @@ func runLoop(prog *Program, g cost.Func,
 	}
 	ctxs := NewContexts(prog)
 	res := &Result{Contexts: ctxs}
+	buf := newStepBuffers(prog.V)
 	for s, st := range prog.Steps {
 		var collect func()
 		if pre != nil && st.Run != nil {
@@ -184,7 +185,7 @@ func runLoop(prog *Program, g cost.Func,
 				pre(step, label, collectOutboxes(prog.Layout, ctxs))
 			}
 		}
-		sc, err := runStepHooked(prog, ctxs, st, collect, post == nil)
+		sc, err := runStepHooked(prog, ctxs, st, collect, post == nil, buf)
 		if err != nil {
 			return nil, fmt.Errorf("dbsp: program %q superstep %d: %w", prog.Name, s, err)
 		}

@@ -1,0 +1,53 @@
+package hmm
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// The machine benchmarks time the charge fast path end to end: machine
+// construction is inside the loop (as the experiment sweeps do it), so
+// the compile cache is part of what is measured.
+
+func benchFuncs() []cost.Func {
+	return []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}, cost.Const{C: 1}}
+}
+
+func BenchmarkTouch(b *testing.B) {
+	const n = 1 << 16
+	for _, f := range benchFuncs() {
+		b.Run(f.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := New(f, n)
+				m.Touch(n)
+			}
+		})
+	}
+}
+
+func BenchmarkMoveRange(b *testing.B) {
+	const n = 1 << 15
+	for _, f := range benchFuncs() {
+		b.Run(f.Name(), func(b *testing.B) {
+			m := New(f, 2*n)
+			for i := 0; i < b.N; i++ {
+				m.MoveRange(0, n, n)
+			}
+		})
+	}
+}
+
+func BenchmarkReadPerWord(b *testing.B) {
+	const n = 1 << 15
+	for _, f := range benchFuncs() {
+		b.Run(f.Name(), func(b *testing.B) {
+			m := New(f, n)
+			for i := 0; i < b.N; i++ {
+				for x := int64(0); x < n; x++ {
+					m.Read(x)
+				}
+			}
+		})
+	}
+}

@@ -53,37 +53,61 @@ type Stats struct {
 	MaxAddr int64
 	// Depth[k] counts word accesses whose address has bit-length k
 	// (address 0 in bucket 0): the touch-depth profile showing how much
-	// of the traffic stays near the top of memory.
-	Depth [48]int64
+	// of the traffic stays near the top of memory. bits.Len64 reaches 64,
+	// so 65 buckets cover every possible address without overflow.
+	Depth [DepthBuckets]int64
 }
+
+// DepthBuckets is the size of the Depth profile: one bucket per
+// possible bit-length of an address (bits.Len64 ranges over [0, 64]).
+const DepthBuckets = 65
 
 // DepthByBounds rebuckets the touch-depth profile by explicit level
 // capacities (e.g. a cost.Table's Bounds): the result has
 // len(bounds)+1 entries, the last counting accesses beyond every bound.
+// A power-of-two bucket straddling a boundary splits its count
+// proportionally by the boundary position (with cumulative rounding, so
+// the split parts always sum to the bucket's count); the profile only
+// records bucket totals, so the split assumes accesses are spread
+// evenly within a bucket.
 func (s Stats) DepthByBounds(bounds []int64) []int64 {
 	out := make([]int64, len(bounds)+1)
 	for k, n := range s.Depth {
 		if n == 0 {
 			continue
 		}
-		// Addresses in bucket k lie in [2^(k-1), 2^k) (bucket 0 = {0}).
-		lo := int64(0)
+		// Addresses in bucket k lie in [lo, lo+span) (bucket 0 = {0}).
+		lo, span := int64(0), int64(1)
 		if k > 0 {
-			lo = int64(1) << uint(k-1)
-		}
-		hi := int64(1)<<uint(k) - 1
-		// Assign the whole bucket to the level of its midpoint; buckets
-		// straddling a boundary split their count proportionally by the
-		// boundary position (an approximation adequate for profiles).
-		mid := (lo + hi) / 2
-		lvl := len(bounds)
-		for i, b := range bounds {
-			if mid < b {
-				lvl = i
-				break
+			if k > 63 {
+				// Bit-length 64 exceeds every int64 bound: last level.
+				out[len(bounds)] += n
+				continue
 			}
+			lo = int64(1) << uint(k-1)
+			span = lo
 		}
-		out[lvl] += n
+		// Walk the levels, intersecting each with the bucket interval and
+		// assigning the proportional share of n. Shares are cumulative
+		// (share_i = floor(n·covered/span) minus what earlier levels got)
+		// so they sum to exactly n.
+		covered, assigned := int64(0), int64(0)
+		for i := 0; i <= len(bounds); i++ {
+			segHi := lo + span
+			if i < len(bounds) && bounds[i] < segHi {
+				segHi = bounds[i]
+			}
+			if segHi > lo+covered {
+				covered = segHi - lo
+			}
+			// cum = n·covered/span without int64 overflow (covered <= span,
+			// so the quotient is at most n and Div64's hi < span holds).
+			mh, ml := bits.Mul64(uint64(n), uint64(covered))
+			q, _ := bits.Div64(mh, ml, uint64(span))
+			cum := int64(q)
+			out[i] += cum - assigned
+			assigned = cum
+		}
 	}
 	return out
 }
@@ -93,7 +117,11 @@ func (s Stats) Accesses() int64 { return s.Reads + s.Writes }
 
 // Machine is an f(x)-HMM with a fixed-size word memory.
 type Machine struct {
-	f     cost.Func
+	f   cost.Func
+	tab *cost.Compiled
+	// dense caches tab.Dense() so the per-word charge path is one bounds
+	// check and one slice load instead of a virtual call into math.Pow.
+	dense []float64
 	mem   []Word
 	stats Stats
 	// Trace, when non-nil, is invoked for every word access with the
@@ -107,7 +135,9 @@ func New(f cost.Func, size int64) *Machine {
 	if size < 0 {
 		panic(fmt.Sprintf("hmm: negative memory size %d", size))
 	}
-	return &Machine{f: f, mem: make([]Word, size), stats: Stats{MaxAddr: -1}}
+	tab := cost.Compile(f, size-1)
+	return &Machine{f: f, tab: tab, dense: tab.Dense(),
+		mem: make([]Word, size), stats: Stats{MaxAddr: -1}}
 }
 
 // AccessFunc returns the machine's access function.
@@ -138,7 +168,7 @@ func (m *Machine) checkAddr(x int64) {
 }
 
 func (m *Machine) charge(op Op, x int64) {
-	m.stats.Cost += m.f.Cost(x)
+	m.stats.Cost += m.costAt(x)
 	if x > m.stats.MaxAddr {
 		m.stats.MaxAddr = x
 	}
@@ -150,6 +180,69 @@ func (m *Machine) charge(op Op, x int64) {
 	}
 	if m.Trace != nil {
 		m.Trace(op, x)
+	}
+}
+
+// costAt returns f(x) through the compiled table (bit-identical to the
+// direct formula). x must be a valid (non-negative) address.
+func (m *Machine) costAt(x int64) float64 {
+	if x < int64(len(m.dense)) {
+		return m.dense[x]
+	}
+	return m.tab.Cost(x)
+}
+
+// CostAt returns f(x) without charging it — for model extensions (the
+// BT machine prices block transfers by endpoint costs) and assertions.
+func (m *Machine) CostAt(x int64) float64 {
+	m.checkAddr(x)
+	return m.costAt(x)
+}
+
+// chargeRange charges one op per address in [lo, hi), ascending — the
+// exact accumulation order of per-word charge calls, so the resulting
+// Cost is bit-identical. Callers must have bounds-checked the range and
+// must only use it when Trace is nil (the per-word paths emit trace
+// events; bulk paths fall back to them under tracing).
+func (m *Machine) chargeRange(op Op, lo, hi int64) {
+	c := m.stats.Cost
+	x := lo
+	dh := hi
+	if dh > int64(len(m.dense)) {
+		dh = int64(len(m.dense))
+	}
+	for d := m.dense; x < dh; x++ {
+		c += d[x]
+	}
+	for ; x < hi; x++ {
+		c += m.tab.Cost(x)
+	}
+	m.stats.Cost = c
+	if hi-1 > m.stats.MaxAddr {
+		m.stats.MaxAddr = hi - 1
+	}
+	m.bumpDepthRange(lo, hi)
+	if op == OpRead {
+		m.stats.Reads += hi - lo
+	} else {
+		m.stats.Writes += hi - lo
+	}
+}
+
+// bumpDepthRange adds the addresses of [lo, hi) to the touch-depth
+// profile, one segment per power-of-two bucket (same totals as calling
+// charge per word).
+func (m *Machine) bumpDepthRange(lo, hi int64) {
+	for x := lo; x < hi; {
+		k := bits.Len64(uint64(x))
+		bhi := hi
+		if k < 63 {
+			if b := int64(1) << uint(k); b < hi {
+				bhi = b
+			}
+		}
+		m.stats.Depth[k] += bhi - x
+		x = bhi
 	}
 }
 
@@ -216,14 +309,42 @@ func (m *Machine) MoveRange(src, dst, n int64) {
 	m.checkAddr(src + n - 1)
 	m.checkAddr(dst)
 	m.checkAddr(dst + n - 1)
+	if m.Trace != nil {
+		// Tracing needs one event per word access in the legacy order.
+		if dst < src {
+			for i := int64(0); i < n; i++ {
+				m.Write(dst+i, m.Read(src+i))
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				m.Write(dst+i, m.Read(src+i))
+			}
+		}
+		return
+	}
+	// Bulk path: fold the per-word charges f(src+i), f(dst+i) into the
+	// accumulator in the exact order the word-by-word loop would, then
+	// move the words with one copy. Bit-identical cost, same stats.
+	c := m.stats.Cost
 	if dst < src {
 		for i := int64(0); i < n; i++ {
-			m.Write(dst+i, m.Read(src+i))
+			c += m.costAt(src + i)
+			c += m.costAt(dst + i)
 		}
 	} else {
 		for i := n - 1; i >= 0; i-- {
-			m.Write(dst+i, m.Read(src+i))
+			c += m.costAt(src + i)
+			c += m.costAt(dst + i)
 		}
+	}
+	m.stats.Cost = c
+	copy(m.mem[dst:dst+n], m.mem[src:src+n])
+	m.stats.Reads += n
+	m.stats.Writes += n
+	m.bumpDepthRange(src, src+n)
+	m.bumpDepthRange(dst, dst+n)
+	if hi := max(src, dst) + n - 1; hi > m.stats.MaxAddr {
+		m.stats.MaxAddr = hi
 	}
 }
 
@@ -236,8 +357,75 @@ func (m *Machine) SwapRange(a, b, n int64) {
 	if overlap(a, b, n) {
 		panic(fmt.Sprintf("hmm: SwapRange overlap: a=%d b=%d n=%d", a, b, n))
 	}
+	m.checkAddr(a)
+	m.checkAddr(a + n - 1)
+	m.checkAddr(b)
+	m.checkAddr(b + n - 1)
+	if m.Trace != nil {
+		for i := int64(0); i < n; i++ {
+			m.SwapWords(a+i, b+i)
+		}
+		return
+	}
+	// Bulk path: per word, SwapWords charges f(a+i), f(b+i), f(a+i),
+	// f(b+i) (read a, read b, write a, write b). Replicate that fold
+	// exactly, then swap the words directly.
+	c := m.stats.Cost
 	for i := int64(0); i < n; i++ {
-		m.SwapWords(a+i, b+i)
+		ca, cb := m.costAt(a+i), m.costAt(b+i)
+		c += ca
+		c += cb
+		c += ca
+		c += cb
+		m.mem[a+i], m.mem[b+i] = m.mem[b+i], m.mem[a+i]
+	}
+	m.stats.Cost = c
+	m.stats.Reads += 2 * n
+	m.stats.Writes += 2 * n
+	m.bumpDepthRange(a, a+n)
+	m.bumpDepthRange(a, a+n)
+	m.bumpDepthRange(b, b+n)
+	m.bumpDepthRange(b, b+n)
+	if hi := max(a, b) + n - 1; hi > m.stats.MaxAddr {
+		m.stats.MaxAddr = hi
+	}
+}
+
+// StreamWords copies n words from [src, src+n) to [dst, dst+n), which
+// must not overlap, charging exactly like the ascending word loop
+// `Write(dst+i, Read(src+i))` regardless of which range sits lower —
+// the accumulation order streaming pipes rely on (MoveRange switches to
+// a descending loop when dst > src to stay copy()-safe on overlap).
+func (m *Machine) StreamWords(src, dst, n int64) {
+	if n == 0 {
+		return
+	}
+	if overlap(src, dst, n) {
+		panic(fmt.Sprintf("hmm: StreamWords overlap: src=%d dst=%d n=%d", src, dst, n))
+	}
+	m.checkAddr(src)
+	m.checkAddr(src + n - 1)
+	m.checkAddr(dst)
+	m.checkAddr(dst + n - 1)
+	if m.Trace != nil {
+		for i := int64(0); i < n; i++ {
+			m.Write(dst+i, m.Read(src+i))
+		}
+		return
+	}
+	c := m.stats.Cost
+	for i := int64(0); i < n; i++ {
+		c += m.costAt(src + i)
+		c += m.costAt(dst + i)
+	}
+	m.stats.Cost = c
+	copy(m.mem[dst:dst+n], m.mem[src:src+n])
+	m.stats.Reads += n
+	m.stats.Writes += n
+	m.bumpDepthRange(src, src+n)
+	m.bumpDepthRange(dst, dst+n)
+	if hi := max(src, dst) + n - 1; hi > m.stats.MaxAddr {
+		m.stats.MaxAddr = hi
 	}
 }
 
@@ -251,9 +439,55 @@ func overlap(a, b, n int64) bool {
 // Touch reads the first n cells in order (the touching problem of
 // Fact 1, cost Θ(n·f(n)) for (2,c)-uniform f).
 func (m *Machine) Touch(n int64) {
-	for x := int64(0); x < n; x++ {
-		m.Read(x)
+	if n <= 0 {
+		return
 	}
+	if m.Trace != nil {
+		for x := int64(0); x < n; x++ {
+			m.Read(x)
+		}
+		return
+	}
+	m.checkAddr(n - 1)
+	m.chargeRange(OpRead, 0, n)
+}
+
+// ReadRange reads the len(dst) words at [addr, addr+len(dst)) into dst
+// in ascending order, charging each word like Read.
+func (m *Machine) ReadRange(addr int64, dst []Word) {
+	n := int64(len(dst))
+	if n == 0 {
+		return
+	}
+	m.checkAddr(addr)
+	m.checkAddr(addr + n - 1)
+	if m.Trace != nil {
+		for i := int64(0); i < n; i++ {
+			dst[i] = m.Read(addr + i)
+		}
+		return
+	}
+	m.chargeRange(OpRead, addr, addr+n)
+	copy(dst, m.mem[addr:addr+n])
+}
+
+// WriteRange stores src at [addr, addr+len(src)) in ascending order,
+// charging each word like Write.
+func (m *Machine) WriteRange(addr int64, src []Word) {
+	n := int64(len(src))
+	if n == 0 {
+		return
+	}
+	m.checkAddr(addr)
+	m.checkAddr(addr + n - 1)
+	if m.Trace != nil {
+		for i := int64(0); i < n; i++ {
+			m.Write(addr+i, src[i])
+		}
+		return
+	}
+	m.chargeRange(OpWrite, addr, addr+n)
+	copy(m.mem[addr:addr+n], src)
 }
 
 // Peek returns the word at x without charging cost — for test
@@ -270,11 +504,46 @@ func (m *Machine) Poke(x int64, v Word) {
 }
 
 // Snapshot copies the n words starting at addr without charging cost —
-// for assertions and rendering only.
+// for assertions and rendering only. It panics if n is negative; an
+// empty snapshot is valid for any addr (including one past the end).
 func (m *Machine) Snapshot(addr, n int64) []Word {
+	if n < 0 {
+		panic(fmt.Sprintf("hmm: negative snapshot length %d", n))
+	}
+	if n == 0 {
+		return []Word{}
+	}
 	m.checkAddr(addr)
 	m.checkAddr(addr + n - 1)
 	out := make([]Word, n)
 	copy(out, m.mem[addr:addr+n])
 	return out
+}
+
+// PokeRange stores src at [addr, addr+len(src)) without charging cost —
+// the bulk form of Poke, for test and workload setup only.
+func (m *Machine) PokeRange(addr int64, src []Word) {
+	n := int64(len(src))
+	if n == 0 {
+		return
+	}
+	m.checkAddr(addr)
+	m.checkAddr(addr + n - 1)
+	copy(m.mem[addr:addr+n], src)
+}
+
+// CopyUncharged moves n words from [src, src+n) to [dst, dst+n) like
+// copy(), without charging cost or touching counters. It exists for
+// model extensions that price data movement themselves (the BT machine
+// charges a pipelined block transfer via AddCost and moves the words
+// with this).
+func (m *Machine) CopyUncharged(src, dst, n int64) {
+	if n == 0 {
+		return
+	}
+	m.checkAddr(src)
+	m.checkAddr(src + n - 1)
+	m.checkAddr(dst)
+	m.checkAddr(dst + n - 1)
+	copy(m.mem[dst:dst+n], m.mem[src:src+n])
 }

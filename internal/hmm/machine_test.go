@@ -269,3 +269,192 @@ func TestDepthProfileTouch(t *testing.T) {
 		t.Errorf("depth total = %d, want 1024", total)
 	}
 }
+
+// Regression: bits.Len64 of a valid large address reaches up to 63 (and
+// 64 for negative-cast values); the Depth array must cover it. Before
+// the fix Depth was [48]int64 and this charge panicked with an index out
+// of range. charge() is called directly (white-box) because allocating
+// 2^47 words of backing memory is not possible in a test.
+func TestDepthDeepAddressRegression(t *testing.T) {
+	m := New(cost.Const{C: 1}, 8)
+	for _, x := range []int64{1 << 47, 1 << 62, math.MaxInt64} {
+		m.charge(OpRead, x)
+		k := 0
+		for v := x; v > 0; v >>= 1 {
+			k++
+		}
+		if m.stats.Depth[k] == 0 {
+			t.Errorf("charge(%d): Depth[%d] not incremented", x, k)
+		}
+	}
+	if m.stats.MaxAddr != math.MaxInt64 {
+		t.Errorf("MaxAddr = %d, want MaxInt64", m.stats.MaxAddr)
+	}
+}
+
+// Table-driven zero-length edge cases: Snapshot(addr, 0) must not panic
+// (its bound check used to evaluate addr-1), and the range operations
+// accept n=0 at any addr including on an empty machine.
+func TestZeroLengthEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		size int64
+		op   func(m *Machine)
+	}{
+		{"snapshot addr=0 n=0 empty machine", 0, func(m *Machine) { m.Snapshot(0, 0) }},
+		{"snapshot addr=0 n=0", 8, func(m *Machine) { m.Snapshot(0, 0) }},
+		{"snapshot addr=size n=0", 8, func(m *Machine) { m.Snapshot(8, 0) }},
+		{"move addr=0 n=0 empty machine", 0, func(m *Machine) { m.MoveRange(0, 0, 0) }},
+		{"swap addr=0 n=0 empty machine", 0, func(m *Machine) { m.SwapRange(0, 0, 0) }},
+		{"stream addr=0 n=0 empty machine", 0, func(m *Machine) { m.StreamWords(0, 0, 0) }},
+		{"touch n=0 empty machine", 0, func(m *Machine) { m.Touch(0) }},
+		{"readrange n=0", 8, func(m *Machine) { m.ReadRange(0, nil) }},
+		{"writerange n=0", 8, func(m *Machine) { m.WriteRange(0, nil) }},
+		{"pokerange n=0", 8, func(m *Machine) { m.PokeRange(0, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newFlat(tc.size)
+			tc.op(m)
+			if m.Cost() != 0 || m.Stats().Accesses() != 0 {
+				t.Errorf("zero-length op charged cost=%g accesses=%d", m.Cost(), m.Stats().Accesses())
+			}
+		})
+	}
+	if got := len(New(cost.Log{}, 4).Snapshot(2, 0)); got != 0 {
+		t.Errorf("Snapshot(_, 0) length = %d, want 0", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Snapshot with negative n did not panic")
+			}
+		}()
+		newFlat(8).Snapshot(0, -1)
+	}()
+}
+
+// DepthByBounds must split a bucket straddling a boundary
+// proportionally by the boundary position, with the parts summing to
+// the bucket count exactly.
+func TestDepthByBoundsProportionalSplit(t *testing.T) {
+	var s Stats
+	s.Depth[10] = 4 // bucket [512, 1024)
+	// 768 splits the bucket in half: 2 accesses per side.
+	if got := s.DepthByBounds([]int64{768}); got[0] != 2 || got[1] != 2 {
+		t.Errorf("DepthByBounds({768}) = %v, want [2 2]", got)
+	}
+	// An odd count still sums exactly: floor(3*256/512)=1 below, 2 above.
+	s.Depth[10] = 3
+	if got := s.DepthByBounds([]int64{768}); got[0] != 1 || got[1] != 2 {
+		t.Errorf("DepthByBounds({768}) = %v, want [1 2]", got)
+	}
+	// Multiple boundaries inside one bucket.
+	s.Depth[10] = 8
+	if got := s.DepthByBounds([]int64{640, 768, 896}); got[0] != 2 || got[1] != 2 || got[2] != 2 || got[3] != 2 {
+		t.Errorf("DepthByBounds({640,768,896}) = %v, want [2 2 2 2]", got)
+	}
+	// Bucket entirely inside one level is assigned whole.
+	s = Stats{}
+	s.Depth[2] = 5 // [2, 4)
+	if got := s.DepthByBounds([]int64{8, 512}); got[0] != 5 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("DepthByBounds = %v, want [5 0 0]", got)
+	}
+	// Deep buckets (including the bit-length-64 overflow bucket) land in
+	// the last level without overflowing the share arithmetic.
+	s = Stats{}
+	s.Depth[48] = 1 << 40
+	s.Depth[64] = 3
+	got := s.DepthByBounds([]int64{8, 512})
+	if got[2] != 1<<40+3 {
+		t.Errorf("deep buckets: DepthByBounds = %v, want last level %d", got, int64(1<<40)+3)
+	}
+}
+
+// Every bulk operation must charge bit-identically to its word-by-word
+// fallback (which tracing forces), in the same accumulation order —
+// the invariant the observer-on/off equality of the simulators rests on.
+func TestBulkMatchesPerWordBitIdentical(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	ops := []struct {
+		name string
+		run  func(m *Machine)
+	}{
+		{"touch", func(m *Machine) { m.Touch(200) }},
+		{"move fwd", func(m *Machine) { m.MoveRange(150, 10, 64) }},
+		{"move bwd overlap", func(m *Machine) { m.MoveRange(10, 40, 64) }},
+		{"swap", func(m *Machine) { m.SwapRange(0, 128, 64) }},
+		{"stream up", func(m *Machine) { m.StreamWords(5, 100, 32) }},
+		{"stream down", func(m *Machine) { m.StreamWords(100, 5, 32) }},
+		{"readrange", func(m *Machine) { m.ReadRange(33, make([]Word, 77)) }},
+		{"writerange", func(m *Machine) { m.WriteRange(90, make([]Word, 50)) }},
+	}
+	for _, op := range ops {
+		t.Run(op.name, func(t *testing.T) {
+			bulk := New(f, 256)
+			word := New(f, 256)
+			word.Trace = func(Op, int64) {} // forces the per-word fallback
+			for i := int64(0); i < 256; i++ {
+				bulk.Poke(i, i*7+1)
+				word.Poke(i, i*7+1)
+			}
+			op.run(bulk)
+			op.run(word)
+			if bc, wc := bulk.Cost(), word.Cost(); math.Float64bits(bc) != math.Float64bits(wc) {
+				t.Errorf("bulk cost %v (bits %x) != per-word cost %v (bits %x)",
+					bc, math.Float64bits(bc), wc, math.Float64bits(wc))
+			}
+			word.Trace = nil
+			bs, ws := bulk.Stats(), word.Stats()
+			if bs != ws {
+				t.Errorf("stats diverged:\nbulk: %+v\nword: %+v", bs, ws)
+			}
+			if got, want := bulk.Snapshot(0, 256), word.Snapshot(0, 256); !slicesEqual(got, want) {
+				t.Error("memory contents diverged between bulk and per-word paths")
+			}
+		})
+	}
+}
+
+func slicesEqual(a, b []Word) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CostAt must be an uncharged exact f(x) lookup.
+func TestCostAt(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	m := New(f, 1024)
+	for _, x := range []int64{0, 1, 100, 1023} {
+		if got, want := m.CostAt(x), f.Cost(x); got != want {
+			t.Errorf("CostAt(%d) = %v, want %v", x, got, want)
+		}
+	}
+	if m.Cost() != 0 {
+		t.Errorf("CostAt charged %g", m.Cost())
+	}
+}
+
+// CopyUncharged moves words without touching the accounting.
+func TestCopyUncharged(t *testing.T) {
+	m := newFlat(16)
+	for i := int64(0); i < 4; i++ {
+		m.Poke(i, i+1)
+	}
+	m.CopyUncharged(0, 8, 4)
+	for i := int64(0); i < 4; i++ {
+		if m.Peek(8+i) != i+1 {
+			t.Fatalf("CopyUncharged: [%d] = %d, want %d", 8+i, m.Peek(8+i), i+1)
+		}
+	}
+	if m.Cost() != 0 || m.Stats().Accesses() != 0 {
+		t.Errorf("CopyUncharged charged cost=%g accesses=%d", m.Cost(), m.Stats().Accesses())
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -197,4 +198,40 @@ func TestImportMergesSnapshots(t *testing.T) {
 	}
 	var nilReg *Registry
 	nilReg.Import(mk(1)) // must not panic
+}
+
+// Audit companion to the hmm.Stats.Depth sizing fix: BucketOf reaches
+// bits.Len64's full range, and every reachable index must stay inside
+// the histogram's bucket array (and inside hmm's Depth profile, which
+// AddAt imports verbatim).
+func TestBucketOfBounds(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-1, 0}, {0, 0}, {1, 1}, {2, 2},
+		{1 << 47, 48}, {1 << 62, 63}, {math.MaxInt64, 63},
+	}
+	for _, tc := range cases {
+		got := BucketOf(tc.v)
+		if got != tc.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+		if got < 0 || got >= histBuckets {
+			t.Errorf("BucketOf(%d) = %d escapes [0,%d)", tc.v, got, histBuckets)
+		}
+	}
+	// Observing the extremes must not panic and must land in-range.
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MinInt64)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+	// AddAt clamps wild bucket indexes instead of panicking.
+	h.AddAt(histBuckets+10, 1)
+	h.AddAt(-3, 1)
+	if h.Count() != 4 {
+		t.Errorf("Count after clamped AddAt = %d, want 4", h.Count())
+	}
 }

@@ -240,6 +240,43 @@ func (w *Writer) Close() {
 	}
 }
 
+// Pipe streams n words from r to w: the bulk form of
+// `for i := 0; i < n; i++ { w.Put(r.Next()) }`, charging the exact same
+// model cost in the exact same accumulation order. Whole runs of words
+// available in the reader's stage-0 buffer move into the writer's
+// stage-0 buffer as one interleaved bulk charge; refills, flushes and
+// the capacity panic happen at the same points as the word loop (the
+// word straddling a writer flush goes through the word-by-word path,
+// because the loop charges its read before the flush transfers).
+// r and w must be cascades over the same machine.
+func Pipe(r *Reader, w *Writer, n int64) {
+	if r.m != w.m {
+		panic("stream: Pipe across machines")
+	}
+	for n > 0 {
+		if !r.More() {
+			panic("stream: Pipe past end")
+		}
+		if !r.refill(0) {
+			panic("stream: refill failed with words remaining")
+		}
+		if w.put >= w.cap || w.cnt[0] == w.g.chunk[0] {
+			w.Put(r.Next())
+			n--
+			continue
+		}
+		k := min64(n, r.cnt[0]-r.pos[0])
+		k = min64(k, w.g.chunk[0]-w.cnt[0])
+		k = min64(k, w.cap-w.put)
+		r.m.StreamWords(r.hot+r.pos[0], w.hot+w.cnt[0], k)
+		r.pos[0] += k
+		r.done += k
+		w.cnt[0] += k
+		w.put += k
+		n -= k
+	}
+}
+
 func min64(a, b int64) int64 {
 	if a < b {
 		return a

@@ -226,3 +226,104 @@ func TestReaderWriterProperty(t *testing.T) {
 func hotcold2(g *Geometry, k int64) (hot, cold int64) {
 	return k * g.HotWords(), 2*g.HotWords() + k*g.ColdWords()
 }
+
+// Pipe must charge the exact model cost of the word loop it replaces,
+// bit for bit and in the same accumulation order — piping between two
+// regions on identical machines must leave identical cost bits, stats
+// and memory. Mixed word/bulk interleavings exercise the flush/refill
+// boundary words.
+func TestPipeMatchesWordLoopBitIdentical(t *testing.T) {
+	for _, f := range []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}} {
+		for _, n := range []int64{1, 31, 32, 33, 100, 1000} {
+			mA, g, off := build(f, 2000)
+			mB, _, _ := build(f, 2000)
+			dst := off + 1000
+
+			hotR, coldR := hotcold(g, 0)
+			hotW, coldW := hotcold(g, 1)
+			rA := NewReader(mA, g, hotR, coldR, off, n)
+			wA := NewWriter(mA, g, hotW, coldW, dst, n)
+			rB := NewReader(mB, g, hotR, coldR, off, n)
+			wB := NewWriter(mB, g, hotW, coldW, dst, n)
+
+			for i := int64(0); i < n; i++ {
+				wA.Put(rA.Next())
+			}
+			wA.Close()
+			Pipe(rB, wB, n)
+			wB.Close()
+
+			ca, cb := mA.Cost(), mB.Cost()
+			if math.Float64bits(ca) != math.Float64bits(cb) {
+				t.Fatalf("%s n=%d: word-loop cost %v != Pipe cost %v", f.Name(), n, ca, cb)
+			}
+			if mA.Stats() != mB.Stats() {
+				t.Fatalf("%s n=%d: stats diverged:\nword: %+v\npipe: %+v",
+					f.Name(), n, mA.Stats(), mB.Stats())
+			}
+			for i := int64(0); i < n; i++ {
+				if mA.Peek(dst+i) != mB.Peek(dst+i) {
+					t.Fatalf("%s n=%d: word %d diverged", f.Name(), n, i)
+				}
+			}
+		}
+	}
+}
+
+// A Pipe interleaved with word-level Next/Put (as the btsim delivery
+// scans do around special offsets) must also match.
+func TestPipeInterleavedWithWords(t *testing.T) {
+	f := cost.Poly{Alpha: 0.5}
+	const n = 500
+	mA, g, off := build(f, 2*n)
+	mB, _, _ := build(f, 2*n)
+	dst := off + n
+
+	hotR, coldR := hotcold(g, 0)
+	hotW, coldW := hotcold(g, 1)
+	rA := NewReader(mA, g, hotR, coldR, off, n)
+	wA := NewWriter(mA, g, hotW, coldW, dst, n)
+	rB := NewReader(mB, g, hotR, coldR, off, n)
+	wB := NewWriter(mB, g, hotW, coldW, dst, n)
+
+	// A: all word-level. B: words at the "special" offsets, pipes between.
+	for i := int64(0); i < n; i++ {
+		wA.Put(rA.Next())
+	}
+	wA.Close()
+	segs := []int64{7, 100, 1, 250, n - 7 - 100 - 1 - 250 - 5}
+	for _, seg := range segs {
+		Pipe(rB, wB, seg)
+		wB.Put(rB.Next()) // special word
+	}
+	if rB.More() {
+		Pipe(rB, wB, n-rB.Consumed())
+	}
+	wB.Close()
+
+	if math.Float64bits(mA.Cost()) != math.Float64bits(mB.Cost()) {
+		t.Fatalf("interleaved: word-loop cost %v != piped cost %v", mA.Cost(), mB.Cost())
+	}
+	for i := int64(0); i < n; i++ {
+		if mA.Peek(dst+i) != mB.Peek(dst+i) {
+			t.Fatalf("interleaved: word %d diverged", i)
+		}
+	}
+}
+
+// Pipe across two different machines is a caller bug.
+func TestPipeAcrossMachinesPanics(t *testing.T) {
+	f := cost.Log{}
+	mA, g, off := build(f, 100)
+	mB, _, _ := build(f, 100)
+	hotR, coldR := hotcold(g, 0)
+	hotW, coldW := hotcold(g, 1)
+	r := NewReader(mA, g, hotR, coldR, off, 10)
+	w := NewWriter(mB, g, hotW, coldW, off, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Pipe across machines did not panic")
+		}
+	}()
+	Pipe(r, w, 10)
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Determinism gate: the tables cmd/experiments prints must be byte-identical
+# to the region committed in EXPERIMENTS.md. Any model drift — a charge
+# reordered, a float folded differently, an extra access — shows up here as
+# a diff long before it shows up as a wrong conclusion.
+#
+# Usage: scripts/check_experiments.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp) out=$(mktemp) body=$(mktemp)
+trap 'rm -f "$bin" "$out" "$body"' EXIT
+
+go build -o "$bin" ./cmd/experiments
+"$bin" -workers=1 >"$out"
+
+# Drop the two-line generated header ("# Experiment tables (generated …)"
+# plus the blank line after it); the date changes per run. Everything after
+# it must appear verbatim — as one contiguous byte range — in EXPERIMENTS.md.
+tail -n +3 "$out" >"$body"
+
+python3 - "$body" EXPERIMENTS.md <<'PYEOF'
+import sys
+
+body = open(sys.argv[1], "rb").read()
+doc = open(sys.argv[2], "rb").read()
+off = doc.find(body)
+if off < 0:
+    sys.stderr.write(
+        "determinism gate FAILED: cmd/experiments output is not a byte-for-byte\n"
+        "substring of EXPERIMENTS.md. Either a change drifted the cost model\n"
+        "(fix the change) or the tables were intentionally regenerated\n"
+        "(update EXPERIMENTS.md in the same commit).\n"
+    )
+    sys.exit(1)
+print(f"determinism gate OK: {len(body)} bytes match EXPERIMENTS.md at offset {off}")
+PYEOF
