@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dbsprun -prog sort -v 256 -g x^0.5 [-sim] [-check] [-metrics] [-trace-out f.jsonl] [-profile p]
+//	        [-serve ADDR] [-serve-linger D] [-cost-profile F]
 //
 // Programs: rotate, bcast, prefix, matmul, fft, fftrec, sort, permute,
 // conv, reduce, stencil.
@@ -23,14 +24,26 @@
 // -trace-out the structured simulation events are written as JSONL.
 // With -profile PREFIX, CPU and heap profiles are written to
 // PREFIX.cpu.pprof and PREFIX.heap.pprof.
+//
+// With -serve ADDR the run exposes the live observability endpoint
+// (/metrics in Prometheus text format, /debug/costprofile, /healthz,
+// /debug/pprof/*) while it executes; -serve-linger keeps it up after
+// the run so one-shot invocations stay scrapeable (interrupt to stop
+// early). -cost-profile writes the folded span-stack cost profile
+// (rooted at the program name) for flamegraph tools.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"repro/internal/algos"
 	"repro/internal/core/btsim"
@@ -40,6 +53,7 @@ import (
 	"repro/internal/dbsp"
 	"repro/internal/invariant"
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/progtest"
 	"repro/internal/theory"
 	"repro/internal/workload"
@@ -105,6 +119,9 @@ func main() {
 	vPrime := flag.Int("vprime", 0, "host processors for the self-simulation under -metrics (default v/4, min 1)")
 	traceOut := flag.String("trace-out", "", "write structured simulation events to this JSONL file")
 	profile := flag.String("profile", "", "write CPU/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+	serve := flag.String("serve", "", "serve live observability (/metrics, /debug/costprofile, /debug/pprof) on this host:port")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the observability endpoint up this long after the run (requires -serve; interrupt to stop early)")
+	costProfile := flag.String("cost-profile", "", "write the folded span-stack cost profile to this file")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -130,6 +147,17 @@ func main() {
 	if *vPrime < 1 || *vPrime&(*vPrime-1) != 0 || *vPrime > *v {
 		usageErr("-vprime %d is not a power of two in [1, %d]", *vPrime, *v)
 	}
+	if *serve != "" {
+		if _, _, err := net.SplitHostPort(*serve); err != nil {
+			usageErr("bad -serve address: %v", err)
+		}
+	}
+	if *serveLinger < 0 {
+		usageErr("-serve-linger must be non-negative, got %v", *serveLinger)
+	}
+	if *serveLinger > 0 && *serve == "" {
+		usageErr("-serve-linger requires -serve")
+	}
 
 	if *profile != "" {
 		f, err := os.Create(*profile + ".cpu.pprof")
@@ -154,11 +182,12 @@ func main() {
 		}()
 	}
 
-	// Observability: one registry + optional JSONL event sink, shared by
-	// the native run and every simulator.
+	// Observability: one registry + optional JSONL event sink and
+	// span-stack profile, shared by the native run and every simulator.
 	var o *obs.Observer
 	var reg *obs.Registry
-	if *metrics || *traceOut != "" {
+	var prof *obs.Profile
+	if *metrics || *traceOut != "" || *serve != "" || *costProfile != "" {
 		reg = obs.NewRegistry()
 		var sink obs.Sink
 		if *traceOut != "" {
@@ -178,6 +207,20 @@ func main() {
 			sink = js
 		}
 		o = obs.New(reg, sink)
+		if *costProfile != "" || *serve != "" {
+			prof = obs.NewProfile()
+			o.Prof = prof.Scope(*progName)
+		}
+	}
+
+	var srv *obshttp.Server
+	if *serve != "" {
+		var err error
+		srv, err = obshttp.Serve(*serve, obshttp.Options{Registry: reg, Profile: prof})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dbsprun: serving observability on http://%s\n", srv.Addr())
 	}
 
 	var res *dbsp.Result
@@ -268,5 +311,37 @@ func main() {
 		fmt.Printf("self-simulation (v'=%d): cost %.3g  slowdown %.1f  Thm10 target v/v' = %d\n",
 			*vPrime, sf.HostCost, sf.HostCost/res.Cost, prog.V / *vPrime)
 		fmt.Printf("\n%s", obs.Report(reg))
+	}
+
+	if *costProfile != "" {
+		f, err := os.Create(*costProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		err = prof.WriteFolded(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	if srv != nil {
+		if *serveLinger > 0 {
+			fmt.Fprintf(os.Stderr, "dbsprun: lingering %v for scrapes on http://%s (interrupt to stop)\n",
+				*serveLinger, srv.Addr())
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			select {
+			case <-time.After(*serveLinger):
+			case <-sig:
+			}
+			signal.Stop(sig)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal("observability shutdown: %v", err)
+		}
 	}
 }

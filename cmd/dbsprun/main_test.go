@@ -135,6 +135,51 @@ func TestCheckFlagClean(t *testing.T) {
 	}
 }
 
+// TestCostProfileFlag: -cost-profile writes folded span stacks rooted
+// at the program name, covering the native run and both simulators.
+func TestCostProfileFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	path := filepath.Join(t.TempDir(), "cost.folded")
+	out, code := runSelf(t, "-prog", "rotate", "-v", "16", "-g", "log", "-metrics", "-cost-profile", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := string(raw)
+	for _, want := range []string{"rotate;dbsp;", "rotate;hmm;", "rotate;bt;", "rotate;self;"} {
+		if !strings.Contains(folded, want) {
+			t.Errorf("folded profile missing %q stacks:\n%s", want, folded)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(folded), "\n") {
+		fields := strings.Split(line, " ")
+		if len(fields) != 2 {
+			t.Errorf("malformed folded line %q", line)
+		}
+	}
+}
+
+// TestServeSmoke: -serve starts the observability endpoint and shuts
+// it down cleanly after the run (the live-scrape path is covered by
+// the experiments CLI test and scripts/obs_smoke.sh).
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out, code := runSelf(t, "-prog", "rotate", "-v", "8", "-g", "log", "-serve", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "serving observability on http://127.0.0.1:") {
+		t.Errorf("no serving line:\n%s", out)
+	}
+}
+
 // TestFlagValidationExitsTwo: every bad invocation must print the
 // usage text and exit 2 (not 1, not a panic).
 func TestFlagValidationExitsTwo(t *testing.T) {
@@ -148,6 +193,9 @@ func TestFlagValidationExitsTwo(t *testing.T) {
 		{"-prog", "matmul", "-v", "8"},
 		{"-metrics", "-vprime", "3"},
 		{"-vprime", "2"}, // -vprime without -metrics
+		{"-serve", "noport"},
+		{"-serve", "127.0.0.1:0", "-serve-linger", "-1s"},
+		{"-serve-linger", "5s"}, // -serve-linger without -serve
 		{"extra-arg"},
 	}
 	for _, args := range cases {

@@ -9,6 +9,7 @@
 //	experiments [-quick] [-run REGEXP] [-only E05[,E09,...]] [-workers N]
 //	            [-keep-going] [-timeout D] [-seed S] [-json] [-jsonl F]
 //	            [-metrics] [-trace-out F] [-profile P]
+//	            [-serve ADDR] [-serve-linger D] [-cost-profile F]
 //
 // -quick trims the parameter sweeps for a fast smoke run; -run selects
 // experiments whose id matches the regexp and -only by exact ids.
@@ -24,21 +25,36 @@
 // sweep engine's own throughput counters); -trace-out streams the
 // structured events to a JSONL file; -profile writes P.cpu.pprof and
 // P.heap.pprof. Timing goes to stderr so stdout stays deterministic.
+//
+// -serve ADDR starts the live observability endpoint (host:port; port 0
+// picks a free port, printed to stderr): /metrics in Prometheus text
+// format, /debug/progress with per-job sweep state, /debug/costprofile
+// with the folded span-stack cost profile, /healthz and
+// /debug/pprof/*. The exporter only reads registry snapshots, so
+// serving never perturbs the charged costs. -serve-linger keeps the
+// endpoint up that long after the sweep finishes (interrupt to stop
+// early); -cost-profile writes the folded stacks to a file for
+// flamegraph tools. Both serving and profiling leave stdout
+// byte-identical.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/sweep"
 )
 
@@ -55,7 +71,22 @@ func main() {
 	metrics := flag.Bool("metrics", false, "instrument the simulations and append the aggregate metrics report")
 	traceOut := flag.String("trace-out", "", "write structured simulation events to this JSONL file")
 	profile := flag.String("profile", "", "write CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+	serve := flag.String("serve", "", "serve live observability (/metrics, /debug/progress, /debug/pprof) on this host:port")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the observability endpoint up this long after the sweep (requires -serve; interrupt to stop early)")
+	costProfile := flag.String("cost-profile", "", "write the folded span-stack cost profile to this file")
 	flag.Parse()
+
+	if *serve != "" {
+		if _, _, err := net.SplitHostPort(*serve); err != nil {
+			usageErr("bad -serve address: %v", err)
+		}
+	}
+	if *serveLinger < 0 {
+		usageErr("-serve-linger must be non-negative, got %v", *serveLinger)
+	}
+	if *serveLinger > 0 && *serve == "" {
+		usageErr("-serve-linger requires -serve")
+	}
 
 	if *profile != "" {
 		cpu, err := os.Create(*profile + ".cpu.pprof")
@@ -84,7 +115,7 @@ func main() {
 
 	var reg *obs.Registry
 	var sink *obs.JSONLSink
-	if *metrics {
+	if *metrics || *serve != "" {
 		reg = obs.NewRegistry()
 	}
 	if *traceOut != "" {
@@ -109,6 +140,11 @@ func main() {
 		}
 	}
 
+	var prof *obs.Profile
+	if *costProfile != "" || *serve != "" {
+		prof = obs.NewProfile()
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -116,14 +152,38 @@ func main() {
 		defer cancel()
 	}
 
+	var prog *sweep.Progress
+	var srv *obshttp.Server
+	if *serve != "" {
+		prog = sweep.NewProgress()
+		var err error
+		srv, err = obshttp.Serve(*serve, obshttp.Options{
+			Registry: reg,
+			Progress: func() any { return prog.Snapshot() },
+			Profile:  prof,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving observability on http://%s\n", srv.Addr())
+		// Interrupt cancels the sweep (or cuts the linger short) and
+		// still shuts the endpoint down gracefully.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+
 	start := time.Now()
 	outcomes, runErr := sweep.Run(ctx, jobs, sweep.Options{
-		Workers:   *workers,
-		KeepGoing: *keepGoing,
-		Quick:     *quick,
-		Seed:      *seed,
-		Metrics:   *metrics,
-		Obs:       engineObs,
+		Workers:     *workers,
+		KeepGoing:   *keepGoing,
+		Quick:       *quick,
+		Seed:        *seed,
+		Metrics:     *metrics || *serve != "",
+		LiveMetrics: *serve != "",
+		Obs:         engineObs,
+		Progress:    prog,
+		Profile:     prof,
 	})
 	wall := time.Since(start)
 
@@ -172,8 +232,12 @@ func main() {
 		if *metrics {
 			// Fold the per-experiment registries into the engine registry
 			// so one report covers the simulations and the sweep itself.
-			for _, o := range outcomes {
-				reg.Import(o.Metrics)
+			// With -serve the engine already folded them live (LiveMetrics);
+			// folding again would double-count.
+			if *serve == "" {
+				for _, o := range outcomes {
+					reg.Import(o.Metrics)
+				}
 			}
 			fmt.Println("# Aggregate simulation metrics (all experiment runs)")
 			fmt.Println()
@@ -182,9 +246,61 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "experiments: %d jobs on %d workers in %v\n",
 		len(outcomes), effectiveWorkers(*workers, len(jobs)), wall.Round(time.Millisecond))
+
+	if *costProfile != "" {
+		f, err := os.Create(*costProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		err = prof.WriteFolded(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	if srv != nil {
+		if *serveLinger > 0 && runErr == nil {
+			fmt.Fprintf(os.Stderr, "experiments: lingering %v for scrapes on http://%s (interrupt to stop)\n",
+				*serveLinger, srv.Addr())
+			select {
+			case <-time.After(*serveLinger):
+			case <-ctx.Done():
+			}
+		}
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fatal("observability shutdown: %v", err)
+		}
+	}
 	if runErr != nil {
+		// An interrupt that arrived during the sweep surfaces as the
+		// context error; one during the linger (after a clean sweep) is a
+		// normal exit.
+		if ctx.Err() != nil && errIsCtx(runErr) && sweepCleanBeforeCancel(outcomes) {
+			return
+		}
 		fatal("%v", runErr)
 	}
+}
+
+// errIsCtx reports whether err is the sweep context's cancellation or
+// deadline error.
+func errIsCtx(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+// sweepCleanBeforeCancel reports whether every job finished ok — i.e.
+// a cancellation arrived only after the sweep's real work was done.
+func sweepCleanBeforeCancel(outcomes []sweep.Outcome) bool {
+	for _, o := range outcomes {
+		if o.Status != sweep.StatusOK {
+			return false
+		}
+	}
+	return true
 }
 
 // selectJobs filters the experiment grid by the -run regexp and the

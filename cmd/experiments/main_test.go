@@ -1,12 +1,18 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sweep"
 )
@@ -108,6 +114,9 @@ func TestUsageErrors(t *testing.T) {
 		{"-run=["},
 		{"-only=E99"},
 		{"-run=NOPE"},
+		{"-serve=nohostport"},
+		{"-serve=127.0.0.1:0", "-serve-linger=-1s"},
+		{"-serve-linger=5s"}, // linger without -serve
 	}
 	for _, args := range cases {
 		_, stderr, code := runSelf(t, append([]string{"-quick"}, args...)...)
@@ -165,6 +174,133 @@ func TestJSONLRecords(t *testing.T) {
 	}
 	if !sawHMM {
 		t.Error("E03 record captured no hmm.* metrics")
+	}
+}
+
+// TestServeLiveObservability drives the tentpole end to end: run a
+// sweep with -serve, scrape /debug/progress until every job has moved
+// queued → running → ok, check /metrics exposes all the expected
+// families in Prometheus text, then interrupt the lingering server and
+// require a clean exit with the canonical stdout.
+func TestServeLiveObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	// Reference stdout: serving must not perturb the output contract.
+	ref, _, code := runSelf(t, "-quick", "-run=E0[1-4]", "-workers=2")
+	if code != 0 {
+		t.Fatalf("reference run exited %d", code)
+	}
+
+	cmd := exec.Command(binPath, "-quick", "-run=E0[1-4]", "-workers=2",
+		"-serve=127.0.0.1:0", "-serve-linger=60s", "-cost-profile="+filepath.Join(t.TempDir(), "cost.folded"))
+	var outBuf strings.Builder
+	cmd.Stdout = &outBuf
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The bound address is announced on stderr before the sweep starts.
+	var addr string
+	sc := bufio.NewScanner(stderrPipe)
+	for sc.Scan() {
+		if line := sc.Text(); strings.Contains(line, "serving observability on http://") {
+			addr = line[strings.Index(line, "http://")+len("http://"):]
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Wait()
+		t.Fatalf("no serving line on stderr (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stderrPipe)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Poll the progress endpoint until the sweep reports done: the
+	// /debug/progress view must track the jobs through their state
+	// transitions to terminal "ok".
+	var snap sweep.ProgressSnapshot
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, body := get("/debug/progress")
+		if status != http.StatusOK {
+			t.Fatalf("/debug/progress status %d", status)
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("/debug/progress not JSON: %v\n%s", err, body)
+		}
+		if snap.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never reported done: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.Total != 4 || snap.Completed != 4 || snap.Failed != 0 {
+		t.Errorf("final progress = %+v, want 4/4 completed", snap)
+	}
+	for _, j := range snap.Jobs {
+		if j.Status != "ok" {
+			t.Errorf("job %s finished %q, want ok", j.ID, j.Status)
+		}
+		if j.WallMS < 0 || j.UpdatedMS < j.StartMS {
+			t.Errorf("job %s has inconsistent timestamps: %+v", j.ID, j)
+		}
+	}
+
+	// /metrics during the linger window: sweep engine families plus the
+	// hmm.* families from E03/E04, in Prometheus text format.
+	status, metrics := get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{
+		"# TYPE sweep_jobs_started counter",
+		"# TYPE sweep_jobs_running gauge",
+		`sweep_job_wall_ms_bucket{le="+Inf"}`,
+		"sweep_job_wall_ms_quantile",
+		"hmm_cost_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if status, body := get("/healthz"); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", status, body)
+	}
+	if status, body := get("/debug/costprofile"); status != http.StatusOK || !strings.Contains(body, ";hmm;") {
+		t.Errorf("/debug/costprofile = %d, want folded hmm stacks:\n%s", status, body)
+	}
+
+	// Interrupt the linger: the run finished clean, so the process must
+	// shut the server down and exit 0 with the untouched report.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("exit after interrupt: %v", err)
+	}
+	if outBuf.String() != ref {
+		t.Errorf("stdout with -serve diverges from reference run:\n got: %q\nwant: %q", outBuf.String(), ref)
 	}
 }
 

@@ -2,6 +2,7 @@ package btsim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/cost"
@@ -112,5 +113,45 @@ func TestObservedDisabledIdentical(t *testing.T) {
 	}
 	if plain.HostCost != observed.HostCost {
 		t.Errorf("observer changed cost: %v vs %v", plain.HostCost, observed.HostCost)
+	}
+}
+
+// TestProfileAttributionMatchesPhaseCosts: the folded span stacks are a
+// per-label refinement of the plain bt.cost.<phase> partition — every
+// non-dotted phase window folds into exactly one stack, so the profile
+// total equals HostCost.
+func TestProfileAttributionMatchesPhaseCosts(t *testing.T) {
+	prog := progtest.Rotate(32, 5, 3, 4, 1, 2, 0)
+	reg := obs.NewRegistry()
+	o := obs.New(reg, nil)
+	prof := obs.NewProfile()
+	o.Prof = prof.Scope("job")
+
+	res, err := Simulate(prog, cost.Poly{Alpha: 0.5}, &Options{Obs: o})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	byPhase := make(map[string]float64)
+	var total float64
+	for _, sc := range prof.Folded() {
+		frames := strings.Split(sc.Stack, ";")
+		if len(frames) != 4 || frames[0] != "job" || frames[1] != "bt" {
+			t.Fatalf("unexpected stack %q", sc.Stack)
+		}
+		if frames[2] != "init" && !strings.HasPrefix(frames[2], "label.") {
+			t.Fatalf("unexpected label frame in %q", sc.Stack)
+		}
+		byPhase[frames[3]] += sc.Cost
+		total += sc.Cost
+	}
+	for _, ph := range costPhases {
+		want := reg.FloatCounter("bt.cost." + ph).Value()
+		got := byPhase[ph]
+		if r := (got - want) / want; r > 1e-9 || r < -1e-9 {
+			t.Errorf("profile %s = %v, counter = %v", ph, got, want)
+		}
+	}
+	if r := (total - res.HostCost) / res.HostCost; r > 1e-9 || r < -1e-9 {
+		t.Errorf("profile total %v vs HostCost %v", total, res.HostCost)
 	}
 }

@@ -27,6 +27,7 @@ package btsim
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"repro/internal/bt"
 	"repro/internal/cost"
@@ -107,6 +108,9 @@ type state struct {
 	swapsC        *obs.Counter
 	sortCompsC    *obs.Counter
 	roundsByLabel []*obs.Counter
+	prof          *obs.Profile // span-stack attribution under "bt"
+	labelFrames   []string     // precomputed "label.<l>" profile frames
+	curFrame      string       // current round's label frame ("init" pre-loop)
 }
 
 // Simulate runs prog on an f(x)-BT host. The program must end with a
@@ -178,6 +182,17 @@ func Simulate(prog *dbsp.Program, f cost.Func, opts *Options) (*Result, error) {
 		st.roundsByLabel = make([]*obs.Counter, st.logv+1)
 		for l := range st.roundsByLabel {
 			st.roundsByLabel[l] = o.Counter(fmt.Sprintf("bt.rounds.label.%d", l))
+		}
+		// Span-stack attribution: the non-dotted phase() windows folded
+		// per superstep label under "bt;label.<l>;<phase>" (the initial
+		// unpack predates any superstep and folds under "bt;init").
+		st.prof = o.Profile().Scope("bt")
+		if st.prof != nil {
+			st.curFrame = "init"
+			st.labelFrames = make([]string, st.logv+1)
+			for l := range st.labelFrames {
+				st.labelFrames[l] = fmt.Sprintf("label.%d", l)
+			}
 		}
 		blockHist := o.Histogram("bt.blocks.words")
 		m.TraceBlock = func(_, _, b int64) { blockHist.Observe(b) }
@@ -312,6 +327,11 @@ func (st *state) phase(name string, fn func()) {
 	fn()
 	delta := st.m.Cost() - before
 	st.obs.FloatCounter("bt.cost." + name).Add(delta)
+	// Only the plain-named windows fold into the profile: dotted
+	// refinements overlap their parent and would double-count stacks.
+	if st.prof != nil && !strings.Contains(name, ".") {
+		st.prof.Add(delta, st.curFrame, name)
+	}
 	if st.obs.Tracing() {
 		st.obs.Emit(obs.Event{Sim: "bt", Kind: "phase", Phase: name,
 			Round: st.rounds, Cost: delta})
@@ -349,6 +369,9 @@ func (st *state) loop() error {
 		}
 		if st.roundsByLabel != nil {
 			st.roundsByLabel[label].Inc()
+		}
+		if st.labelFrames != nil {
+			st.curFrame = st.labelFrames[label]
 		}
 
 		// Step 1.a: pack the top cluster.

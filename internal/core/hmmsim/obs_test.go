@@ -99,6 +99,67 @@ func TestObservedCostAttribution(t *testing.T) {
 	}
 }
 
+// TestProfileAttributionMatchesPhaseCosts: with a span-stack profile
+// attached, the per-label stacks sum phase-by-phase to the same
+// hmm.cost.<phase> counters — the folded profile is a refinement of the
+// declared cost partition, not a second accounting.
+func TestProfileAttributionMatchesPhaseCosts(t *testing.T) {
+	prog := rotateProg(8, 3, 2, 3, 1, 2, 0)
+	reg := obs.NewRegistry()
+	o := obs.New(reg, nil)
+	prof := obs.NewProfile()
+	o.Prof = prof.Scope("job")
+
+	res, err := Simulate(prog, cost.Log{}, &Options{Obs: o})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+
+	byPhase := make(map[string]float64)
+	var total float64
+	for _, sc := range prof.Folded() {
+		frames := splitStack(sc.Stack)
+		if len(frames) != 4 || frames[0] != "job" || frames[1] != "hmm" {
+			t.Fatalf("unexpected stack %q", sc.Stack)
+		}
+		byPhase[frames[3]] += sc.Cost
+		total += sc.Cost
+	}
+	for _, ph := range costPhases {
+		want := reg.FloatCounter("hmm.cost." + ph).Value()
+		if got := byPhase[ph]; rel(got, want) > 1e-9 {
+			t.Errorf("profile %s = %v, counter = %v", ph, got, want)
+		}
+	}
+	if rel(total, res.HostCost) > 1e-9 {
+		t.Errorf("profile total %v vs HostCost %v", total, res.HostCost)
+	}
+}
+
+func splitStack(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != ';' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}
+
+func rel(a, b float64) float64 {
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
 // TestObservedDisabledIdentical: running with and without an observer
 // must charge the identical cost (observability must not perturb the
 // simulation).

@@ -116,6 +116,8 @@ type state struct {
 	roundsC       *obs.Counter
 	swapsC        *obs.Counter
 	roundsByLabel []*obs.Counter // rounds executed per superstep label
+	prof          *obs.Profile   // span-stack attribution under "hmm"
+	labelFrames   []string       // precomputed "label.<l>" profile frames
 }
 
 // Simulate runs prog on an f(x)-HMM host, returning the final guest
@@ -264,6 +266,15 @@ func newState(m *hmm.Machine, run *dbsp.Program, layout dbsp.Layout, opts *Optio
 		for l := range st.roundsByLabel {
 			st.roundsByLabel[l] = o.Counter(fmt.Sprintf("hmm.rounds.label.%d", l))
 		}
+		// Span-stack attribution: the same phase deltas charged above,
+		// folded per superstep label under "hmm;label.<l>;<phase>".
+		st.prof = o.Profile().Scope("hmm")
+		if st.prof != nil {
+			st.labelFrames = make([]string, run.LogV()+1)
+			for l := range st.labelFrames {
+				st.labelFrames[l] = fmt.Sprintf("label.%d", l)
+			}
+		}
 	}
 	return st
 }
@@ -358,10 +369,10 @@ func (st *state) loop() error {
 				b := 1 << uint(label-nextLabel)
 				j := cIdx % b
 				if j > 0 {
-					st.swapRegions(0, j, csize)
+					st.swapRegions(nextLabel, j, csize)
 				}
 				if j < b-1 {
-					st.swapRegions(0, j+1, csize)
+					st.swapRegions(nextLabel, j+1, csize)
 				}
 			}
 		}
@@ -397,6 +408,9 @@ func (st *state) simulateStep(s, lo, csize int) {
 	if st.obs != nil {
 		now := st.m.Cost()
 		st.costCompute.Add(now - mark)
+		if st.prof != nil {
+			st.prof.Add(now-mark, st.labelFrames[st.prog.Steps[s].Label], "compute")
+		}
 		mark = now
 	}
 	// Message exchange. First clear the inbox counts (native Deliver
@@ -424,14 +438,19 @@ func (st *state) simulateStep(s, lo, csize int) {
 		}
 	}
 	if st.obs != nil {
-		st.costDeliver.Add(st.m.Cost() - mark)
+		delta := st.m.Cost() - mark
+		st.costDeliver.Add(delta)
+		if st.prof != nil {
+			st.prof.Add(delta, st.labelFrames[st.prog.Steps[s].Label], "deliver")
+		}
 	}
 }
 
 // swapRegions exchanges the csize-block region at the top of memory
 // with region r (blocks [r·csize, (r+1)·csize)), updating the
-// processor-position tables.
-func (st *state) swapRegions(_ int, r, csize int) {
+// processor-position tables. label is the coarser superstep label whose
+// cycling caused the swap; it scopes the profile attribution only.
+func (st *state) swapRegions(label, r, csize int) {
 	mu := st.mu
 	var mark float64
 	if st.obs != nil {
@@ -447,7 +466,11 @@ func (st *state) swapRegions(_ int, r, csize int) {
 	st.swaps++
 	st.swapsC.Inc()
 	if st.obs != nil {
-		st.costSwap.Add(st.m.Cost() - mark)
+		delta := st.m.Cost() - mark
+		st.costSwap.Add(delta)
+		if st.prof != nil {
+			st.prof.Add(delta, st.labelFrames[label], "swap")
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package selfsim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/cost"
@@ -85,5 +86,48 @@ func TestObservedDisabledIdentical(t *testing.T) {
 	}
 	if plain.HostCost != observed.HostCost {
 		t.Errorf("observer changed cost: %v vs %v", plain.HostCost, observed.HostCost)
+	}
+}
+
+// TestProfileAttributionMatchesPhaseCosts: the folded span stacks
+// refine the self.cost.<phase> partition per superstep label (local
+// runs fold under "local-run"), so the profile total equals HostCost.
+func TestProfileAttributionMatchesPhaseCosts(t *testing.T) {
+	v, vPrime := 16, 4
+	prog := progtest.Rotate(v, 3, 1, 4, 2, 0)
+	reg := obs.NewRegistry()
+	o := obs.New(reg, nil)
+	prof := obs.NewProfile()
+	o.Prof = prof.Scope("job")
+
+	res, err := Simulate(prog, cost.Log{}, vPrime, &Options{Obs: o})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	byPhase := make(map[string]float64)
+	var total float64
+	for _, sc := range prof.Folded() {
+		frames := strings.Split(sc.Stack, ";")
+		if len(frames) != 4 || frames[0] != "job" || frames[1] != "self" {
+			t.Fatalf("unexpected stack %q", sc.Stack)
+		}
+		byPhase[frames[3]] += sc.Cost
+		total += sc.Cost
+	}
+	for _, ph := range costPhases {
+		want := reg.FloatCounter("self.cost." + ph).Value()
+		got := byPhase[ph]
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("profile %s = %v, counter 0", ph, got)
+			}
+			continue
+		}
+		if r := (got - want) / want; r > 1e-9 || r < -1e-9 {
+			t.Errorf("profile %s = %v, counter = %v", ph, got, want)
+		}
+	}
+	if r := (total - res.HostCost) / res.HostCost; r > 1e-9 || r < -1e-9 {
+		t.Errorf("profile total %v vs HostCost %v", total, res.HostCost)
 	}
 }

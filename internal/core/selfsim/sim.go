@@ -105,6 +105,15 @@ func Simulate(prog *dbsp.Program, g cost.Func, vPrime int, opts *Options) (*Resu
 		s.costCompute = o.FloatCounter("self.cost.compute")
 		s.costPlace = o.FloatCounter("self.cost.place")
 		s.costComm = o.FloatCounter("self.cost.comm")
+		// Span-stack attribution: global-step phases fold under
+		// "self;label.<l>;<phase>", local runs under "self;local-run".
+		s.prof = o.Profile().Scope("self")
+		if s.prof != nil {
+			s.labelFrames = make([]string, dbsp.Log2(prog.V)+1)
+			for l := range s.labelFrames {
+				s.labelFrames[l] = fmt.Sprintf("label.%d", l)
+			}
+		}
 	}
 	if err := s.run(); err != nil {
 		return nil, err
@@ -166,6 +175,8 @@ type sim struct {
 	costCompute *obs.FloatCounter
 	costPlace   *obs.FloatCounter
 	costComm    *obs.FloatCounter
+	prof        *obs.Profile // span-stack attribution under "self"
+	labelFrames []string     // precomputed "label.<l>" profile frames
 }
 
 // run partitions the program into maximal global/local runs and
@@ -234,6 +245,9 @@ func (s *sim) localRun(steps []dbsp.Superstep, first int) error {
 	}
 	s.moduleCost += maxDelta
 	s.costLocal.Add(maxDelta)
+	if s.prof != nil {
+		s.prof.Add(maxDelta, "local-run", "local")
+	}
 	if s.obs.Tracing() {
 		s.obs.Emit(obs.Event{Sim: "self", Kind: "local-run", Step: first,
 			Label: steps[0].Label, N: int64(len(steps)), Cost: maxDelta})
@@ -294,6 +308,9 @@ func (s *sim) globalStep(st dbsp.Superstep, index int) error {
 	}
 	s.moduleCost += maxDelta
 	s.costCompute.Add(maxDelta)
+	if s.prof != nil {
+		s.prof.Add(maxDelta, s.labelFrames[st.Label], "compute")
+	}
 
 	// Router charge: an h-relation of guest messages within i-clusters,
 	// h the max messages per host processor, each message a remote
@@ -310,6 +327,9 @@ func (s *sim) globalStep(st dbsp.Superstep, index int) error {
 	comm := float64(h) * dbsp.CommCost(s.g, s.layout.Mu(), s.prog.V, st.Label)
 	s.commCost += comm
 	s.costComm.Add(comm)
+	if s.prof != nil {
+		s.prof.Add(comm, s.labelFrames[st.Label], "comm")
+	}
 
 	// Phase B (the log v′-superstep): clear every inbox and place the
 	// received messages, in ascending global sender order.
@@ -338,6 +358,9 @@ func (s *sim) globalStep(st dbsp.Superstep, index int) error {
 	}
 	s.moduleCost += maxDelta
 	s.costPlace.Add(maxDelta)
+	if s.prof != nil {
+		s.prof.Add(maxDelta, s.labelFrames[st.Label], "place")
+	}
 	if s.obs.Tracing() {
 		s.obs.Emit(obs.Event{Sim: "self", Kind: "global-step", Step: index,
 			Label: st.Label, N: int64(h), Cost: s.moduleCost + s.commCost - costBefore})

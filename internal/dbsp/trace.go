@@ -77,6 +77,23 @@ func publishRun(o *obs.Observer, prog *Program, res *Result, tr *Trace) {
 		msgHist.Observe(int64(len(st.Messages)))
 	}
 	o.Counter("dbsp.messages").Add(msgs)
+
+	// Span-stack attribution: the native cost split folded per superstep
+	// label under "dbsp;label.<i>;compute|comm". Off the hot path — the
+	// whole fold happens once, after the run.
+	if prof := o.Profile().Scope("dbsp"); prof != nil {
+		compute := make(map[int]float64)
+		comm := make(map[int]float64)
+		for _, sc := range res.Steps {
+			compute[sc.Label] += float64(sc.Tau)
+			comm[sc.Label] += sc.Cost - float64(sc.Tau)
+		}
+		for label := 0; label <= Log2(prog.V); label++ {
+			frame := fmt.Sprintf("label.%d", label)
+			prof.Add(compute[label], frame, "compute")
+			prof.Add(comm[label], frame, "comm")
+		}
+	}
 }
 
 // LocalityLevel returns the label of the finest cluster containing both

@@ -170,6 +170,50 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile returns the p-quantile of the observed distribution,
+// estimated from the power-of-two buckets: the containing bucket is
+// located by cumulative count and the value is interpolated linearly
+// inside its [lo, hi) range (the only information the buckets retain).
+// p is clamped to [0, 1]; an empty (or nil) histogram reports 0. The
+// estimate is exact at bucket edges and within a factor of two
+// everywhere, which is all the exporter's p50/p95/p99 lines and the
+// sweep ETA need.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(count)
+	var cum float64
+	last := 0
+	for k := 0; k < histBuckets; k++ {
+		n := float64(h.buckets[k].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := BucketRange(k)
+			frac := (target - cum) / n
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
+		last = k
+	}
+	// Float rounding pushed target past the summed counts; report the
+	// upper edge of the last populated bucket.
+	_, hi := BucketRange(last)
+	return float64(hi)
+}
+
 // Buckets returns the bucket counts trimmed after the last non-zero
 // bucket (nil when the histogram is empty).
 func (h *Histogram) Buckets() []int64 {

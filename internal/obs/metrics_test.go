@@ -235,3 +235,59 @@ func TestBucketOfBounds(t *testing.T) {
 		t.Errorf("Count after clamped AddAt = %d, want 4", h.Count())
 	}
 }
+
+// TestHistogramQuantile pins the bucket-interpolation estimator: the
+// quantile is located by cumulative count and interpolated linearly
+// inside the containing power-of-two bucket.
+func TestHistogramQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe []int64
+		p       float64
+		want    float64
+	}{
+		// 10 observations of 12: all in bucket 4 = [8,16). The median
+		// target is half way through the bucket's count.
+		{"uniform-single-bucket-p50", repeat(12, 10), 0.5, 12},
+		{"uniform-single-bucket-p0", repeat(12, 10), 0, 8},
+		{"uniform-single-bucket-p1", repeat(12, 10), 1, 16},
+		// 8 obs in bucket 1 ({1}), 2 in bucket 4: p50 target 5 of 10
+		// lands 5/8 into bucket 1 = [1,2).
+		{"skewed-p50", append(repeat(1, 8), 12, 12), 0.5, 1.625},
+		// p95 target 9.5 of 10 lands 1.5/2 into bucket 4 = [8,16).
+		{"skewed-p95", append(repeat(1, 8), 12, 12), 0.95, 14},
+		// Bucket 0 holds values <= 0 and spans [0,1).
+		{"zeros-p50", repeat(0, 4), 0.5, 0.5},
+		// Clamping.
+		{"clamp-low", repeat(12, 10), -3, 8},
+		{"clamp-high", repeat(12, 10), 7, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+			}
+		})
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+}
+
+// repeat returns n copies of v.
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package obshttp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWritePromAllKinds pins the exposition of all four registry
+// metric kinds, including the histogram's cumulative le buckets and
+// the companion quantile lines.
+func TestWritePromAllKinds(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("hmm.reads").Add(7)
+	reg.FloatCounter("hmm.cost.total").Add(2.5)
+	reg.Gauge("sweep.workers").Set(4)
+	h := reg.Histogram("sweep.job.wall_ms")
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(1)
+	h.Observe(12) // bucket 4
+
+	var b strings.Builder
+	if err := WriteProm(&b, reg.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE hmm_cost_total counter
+hmm_cost_total 2.5
+# TYPE hmm_reads counter
+hmm_reads 7
+# TYPE sweep_job_wall_ms histogram
+sweep_job_wall_ms_bucket{le="0"} 1
+sweep_job_wall_ms_bucket{le="1"} 3
+sweep_job_wall_ms_bucket{le="3"} 3
+sweep_job_wall_ms_bucket{le="7"} 3
+sweep_job_wall_ms_bucket{le="15"} 4
+sweep_job_wall_ms_bucket{le="+Inf"} 4
+sweep_job_wall_ms_sum 14
+sweep_job_wall_ms_count 4
+# TYPE sweep_job_wall_ms_quantile gauge
+sweep_job_wall_ms_quantile{quantile="0.5"} 1.5
+sweep_job_wall_ms_quantile{quantile="0.95"} 14.399999999999999
+sweep_job_wall_ms_quantile{quantile="0.99"} 15.68
+# TYPE sweep_workers gauge
+sweep_workers 4
+`
+	if b.String() != want {
+		t.Errorf("WriteProm:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWritePromValidText checks structural validity rules a Prometheus
+// scraper enforces: every line is either a comment or
+// "name[{labels}] value", names are in the identifier charset, and
+// cumulative bucket counts never decrease.
+func TestWritePromValidText(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("dbsp.lambda.label.3").Add(2)
+	reg.Histogram("hmm.depth").Observe(100)
+	reg.Histogram("hmm.depth").Observe(3)
+	var b strings.Builder
+	if err := WriteProm(&b, reg.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var lastCum int64 = -1
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok || rest == "" {
+			t.Errorf("malformed line %q", line)
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unterminated labels in %q", line)
+			}
+			name = name[:i]
+		}
+		for j := 0; j < len(name); j++ {
+			c := name[j]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(c >= '0' && c <= '9' && j > 0)
+			if !ok {
+				t.Errorf("invalid metric name %q", name)
+				break
+			}
+		}
+	}
+	// Cumulative le buckets are nondecreasing and end at the count.
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "hmm_depth_bucket") {
+			continue
+		}
+		cum, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if cum < lastCum {
+			t.Errorf("bucket counts decreased: %q after %d", line, lastCum)
+		}
+		lastCum = cum
+	}
+	if lastCum != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", lastCum)
+	}
+}

@@ -1,0 +1,124 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configures the observability handler. Every source is
+// optional; endpoints whose source is missing answer 404 so one
+// handler shape serves every CLI.
+type Options struct {
+	// Registry is the /metrics source, read via Snapshot() only.
+	Registry *obs.Registry
+	// Progress supplies the /debug/progress payload (any JSON-encodable
+	// value; the sweep engine passes its Progress snapshot). Called per
+	// request.
+	Progress func() any
+	// Profile is the /debug/costprofile source (folded stacks).
+	Profile *obs.Profile
+	// Quantiles are the per-histogram quantile lines on /metrics;
+	// nil means p50/p95/p99.
+	Quantiles []float64
+}
+
+// Handler returns the observability mux:
+//
+//	/metrics           Prometheus text exposition of Registry
+//	/healthz           liveness probe ("ok")
+//	/debug/progress    JSON progress snapshot
+//	/debug/costprofile folded span-stack cost profile
+//	/debug/pprof/...   standard net/http/pprof handlers
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if o.Registry == nil {
+			http.Error(w, "no metrics registry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Snapshot-only: the scrape never touches live metric state
+		// beyond the atomic loads Snapshot performs.
+		_ = WriteProm(w, o.Registry.Snapshot(), o.Quantiles)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		if o.Progress == nil {
+			http.Error(w, "no progress source", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o.Progress()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/costprofile", func(w http.ResponseWriter, r *http.Request) {
+		if o.Profile == nil {
+			http.Error(w, "no cost profile", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = o.Profile.WriteFolded(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a listening observability endpoint with graceful shutdown.
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan error
+}
+
+// Serve listens on addr (host:port; port 0 picks a free port) and
+// serves Handler(o) until Shutdown. It returns once the listener is
+// bound, so Addr is immediately scrapeable.
+func Serve(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(o), ReadHeaderTimeout: 10 * time.Second},
+		addr: ln.Addr().String(),
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port when the
+// caller asked for :0).
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown stops accepting connections, waits for in-flight requests
+// (bounded by ctx) and returns the serve loop's error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-s.done
+}

@@ -1,0 +1,124 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// TestServeEndpoints spins up a real listener on an ephemeral port and
+// exercises every endpoint, then shuts down gracefully.
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("hmm.reads").Add(3)
+	prof := obs.NewProfile()
+	prof.Scope("E01").Add(2, "hmm", "compute")
+	srv, err := Serve("127.0.0.1:0", Options{
+		Registry: reg,
+		Progress: func() any { return map[string]int{"total": 5, "completed": 2} },
+		Profile:  prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	code, body, ct := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE hmm_reads counter\nhmm_reads 3\n") {
+		t.Errorf("/metrics body = %q", body)
+	}
+
+	code, body, ct = get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	_ = ct
+
+	code, body, ct = get(t, base+"/debug/progress")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/debug/progress = %d %q", code, ct)
+	}
+	var prog map[string]int
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/debug/progress body %q: %v", body, err)
+	}
+	if prog["total"] != 5 || prog["completed"] != 2 {
+		t.Errorf("/debug/progress = %v", prog)
+	}
+
+	code, body, _ = get(t, base+"/debug/costprofile")
+	if code != http.StatusOK || body != "E01;hmm;compute 2\n" {
+		t.Errorf("/debug/costprofile = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (len %d)", code, len(body))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}
+
+// TestServeMissingSources: endpoints whose source is nil answer 404 so
+// CLIs can share one handler shape regardless of enabled flags.
+func TestServeMissingSources(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/debug/progress", "/debug/costprofile"} {
+		if code, _, _ := get(t, base+path); code != http.StatusNotFound {
+			t.Errorf("%s with nil source: status = %d, want 404", path, code)
+		}
+	}
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz should always answer, got %d", code)
+	}
+}
+
+// TestServeBadAddr: a malformed listen address surfaces as an error,
+// not a panic or a hung goroutine.
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", Options{}); err == nil {
+		t.Fatal("Serve on bad address succeeded")
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Profile accumulates charged model cost by span stack — the cost
+// analogue of a CPU profile. A stack is a semicolon-joined frame list
+// (experiment → engine → superstep → phase, e.g.
+// "E05;hmm;label.3;deliver"), which is exactly the folded-stack format
+// flamegraph tools consume (`flamegraph.pl`, `inferno-flamegraph`,
+// speedscope), with charged model time in place of sample counts.
+//
+// A Profile is either a root (owns the accumulator) or a scope — a
+// cheap view created by Scope that prefixes every Add with its frame
+// chain and forwards to the shared root. The sweep engine scopes one
+// view per job (frame = job ID) so parallel jobs attribute into
+// disjoint stacks of one shared profile, keeping folded output
+// deterministic for any worker count.
+//
+// All methods are safe for concurrent use and no-op on a nil receiver,
+// so instrumented code pays only a nil check when profiling is off.
+type Profile struct {
+	root   *Profile
+	prefix string
+
+	mu     sync.Mutex
+	stacks map[string]float64
+}
+
+// NewProfile returns an empty root profile.
+func NewProfile() *Profile {
+	p := &Profile{stacks: make(map[string]float64)}
+	p.root = p
+	return p
+}
+
+// Scope returns a view of the profile that prefixes frame to every
+// stack added through it. Scoping a scope chains prefixes. Nil-safe.
+func (p *Profile) Scope(frame string) *Profile {
+	if p == nil {
+		return nil
+	}
+	return &Profile{root: p.root, prefix: joinFrames(p.prefix, cleanFrame(frame))}
+}
+
+// Add charges cost to the stack formed by the scope's prefix followed
+// by frames. Zero-cost adds are dropped so empty phases do not clutter
+// the folded output. Nil-safe.
+func (p *Profile) Add(cost float64, frames ...string) {
+	if p == nil || cost == 0 {
+		return
+	}
+	stack := p.prefix
+	for _, f := range frames {
+		stack = joinFrames(stack, cleanFrame(f))
+	}
+	if stack == "" {
+		stack = "(root)"
+	}
+	r := p.root
+	r.mu.Lock()
+	r.stacks[stack] += cost
+	r.mu.Unlock()
+}
+
+// StackCost is one folded-profile line: a stack and its total cost.
+type StackCost struct {
+	// Stack is the semicolon-joined frame list.
+	Stack string
+	// Cost is the total model cost attributed to the stack.
+	Cost float64
+}
+
+// Folded returns every stack with its accumulated cost, sorted by
+// stack name — a deterministic rendering order. Nil-safe (nil result).
+func (p *Profile) Folded() []StackCost {
+	if p == nil {
+		return nil
+	}
+	r := p.root
+	r.mu.Lock()
+	out := make([]StackCost, 0, len(r.stacks))
+	for s, c := range r.stacks {
+		out = append(out, StackCost{Stack: s, Cost: c})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Stack < out[j].Stack })
+	return out
+}
+
+// WriteFolded writes the profile in folded-stack format: one
+// "stack cost" line per stack, sorted by stack. Nil-safe (no output).
+func (p *Profile) WriteFolded(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	for _, sc := range p.Folded() {
+		if _, err := fmt.Fprintf(w, "%s %g\n", sc.Stack, sc.Cost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinFrames appends frame to a (possibly empty) prefix chain.
+func joinFrames(prefix, frame string) string {
+	if frame == "" {
+		return prefix
+	}
+	if prefix == "" {
+		return frame
+	}
+	return prefix + ";" + frame
+}
+
+// frameCleaner strips the two characters the folded format reserves:
+// ';' separates frames and ' ' separates the stack from its cost.
+var frameCleaner = strings.NewReplacer(";", "_", " ", "_", "\n", "_")
+
+// cleanFrame makes a frame safe for the folded format.
+func cleanFrame(f string) string { return frameCleaner.Replace(f) }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestProfileScopesAndFolded: scopes prefix their frame chain, adds
+// accumulate per stack, and Folded is sorted by stack name.
+func TestProfileScopesAndFolded(t *testing.T) {
+	p := NewProfile()
+	job := p.Scope("E05")
+	hmm := job.Scope("hmm")
+	hmm.Add(2.5, "label.3", "compute")
+	hmm.Add(1.5, "label.3", "compute")
+	hmm.Add(4, "label.0", "deliver")
+	p.Add(1, "sweep")
+
+	got := p.Folded()
+	want := []StackCost{
+		{Stack: "E05;hmm;label.0;deliver", Cost: 4},
+		{Stack: "E05;hmm;label.3;compute", Cost: 4},
+		{Stack: "sweep", Cost: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Folded() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Folded()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProfileWriteFolded pins the folded-stack line format flamegraph
+// tools parse: "stack cost\n", sorted.
+func TestProfileWriteFolded(t *testing.T) {
+	p := NewProfile()
+	p.Scope("job").Add(3, "phase")
+	p.Add(0.25, "b")
+	var b strings.Builder
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = "b 0.25\njob;phase 3\n"
+	if b.String() != want {
+		t.Errorf("WriteFolded:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+// TestProfileFrameSanitization: the folded format's reserved characters
+// cannot leak out of frame names.
+func TestProfileFrameSanitization(t *testing.T) {
+	p := NewProfile()
+	p.Scope("a;b c").Add(1, "x y")
+	got := p.Folded()
+	if len(got) != 1 || got[0].Stack != "a_b_c;x_y" {
+		t.Errorf("sanitized stack = %v, want a_b_c;x_y", got)
+	}
+}
+
+// TestProfileNilAndZero: nil receivers no-op everywhere and zero-cost
+// adds are dropped.
+func TestProfileNilAndZero(t *testing.T) {
+	var p *Profile
+	p.Add(1, "x")
+	if s := p.Scope("y"); s != nil {
+		t.Error("nil.Scope != nil")
+	}
+	if got := p.Folded(); got != nil {
+		t.Errorf("nil.Folded = %v", got)
+	}
+	if err := p.WriteFolded(nil); err != nil {
+		t.Errorf("nil.WriteFolded = %v", err)
+	}
+	q := NewProfile()
+	q.Add(0, "dropped")
+	if got := q.Folded(); len(got) != 0 {
+		t.Errorf("zero-cost add recorded: %v", got)
+	}
+}
+
+// TestProfileConcurrentAdds hammers one root from many scoped views;
+// under -race this is the data-race check for the shared accumulator.
+func TestProfileConcurrentAdds(t *testing.T) {
+	p := NewProfile()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := p.Scope("shared")
+			for i := 0; i < per; i++ {
+				s.Add(1, "leaf")
+			}
+		}()
+	}
+	wg.Wait()
+	got := p.Folded()
+	if len(got) != 1 || got[0].Cost != workers*per {
+		t.Errorf("Folded = %v, want one stack with cost %d", got, workers*per)
+	}
+}

@@ -246,6 +246,10 @@ type Observer struct {
 	Reg *Registry
 	// Sink receives trace events; may be nil.
 	Sink Sink
+	// Prof receives span-stack cost attributions; may be nil. It is a
+	// scope of the run's root profile (the sweep engine scopes one view
+	// per job under the job's ID).
+	Prof *Profile
 
 	seq atomic.Int64
 }
@@ -285,6 +289,16 @@ func (o *Observer) Histogram(name string) *Histogram {
 		return nil
 	}
 	return o.Reg.Histogram(name)
+}
+
+// Profile returns the observer's cost profile, or nil when span-stack
+// profiling is off — instrumented code keeps the returned scope and
+// calls its nil-safe Add.
+func (o *Observer) Profile() *Profile {
+	if o == nil {
+		return nil
+	}
+	return o.Prof
 }
 
 // Tracing reports whether events reach a sink — instrumented code

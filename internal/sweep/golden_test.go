@@ -15,6 +15,7 @@ import (
 func TestRecordJSONGolden(t *testing.T) {
 	rec, err := RecordOf(Outcome{
 		ID: "E05", Seq: 4, Status: StatusOK, Seed: 42,
+		Start: 250 * time.Microsecond,
 		Wall:  1500 * time.Microsecond,
 		Value: map[string]string{"k": "v"},
 	})
@@ -25,7 +26,7 @@ func TestRecordJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantOK = `{"id":"E05","seq":4,"status":"ok","seed":42,"wall_ms":1.5,"value":{"k":"v"}}`
+	const wantOK = `{"id":"E05","seq":4,"status":"ok","seed":42,"start_ms":0.25,"wall_ms":1.5,"value":{"k":"v"}}`
 	if string(raw) != wantOK {
 		t.Errorf("ok record encoding changed:\n got %s\nwant %s", raw, wantOK)
 	}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 )
 
 // The engine's throughput counters must partition the submitted job
@@ -61,5 +64,88 @@ func TestThroughputCountersPartitionJobs(t *testing.T) {
 		if w := reg.Gauge("sweep.workers").Value(); w != 1 {
 			t.Errorf("sweep.workers = %d, want 1", w)
 		}
+	}
+}
+
+// TestScrapeWhileSweepRaces is the -race check for the live export
+// path: every worker hammers counters, float counters and histograms
+// on one shared registry (via the LiveMetrics fold and directly) while
+// a scrape loop snapshots the registry, renders it in Prometheus text
+// format and polls the progress tracker — exactly what a /metrics +
+// /debug/progress scraper does against a running sweep.
+func TestScrapeWhileSweepRaces(t *testing.T) {
+	reg := obs.NewRegistry()
+	prog := NewProgress()
+	prof := obs.NewProfile()
+	shared := obs.New(reg, nil)
+
+	const n = 64
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{ID: fmt.Sprintf("J%02d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			for k := 0; k < 100; k++ {
+				// Direct writes to the shared engine registry, racing the
+				// scrape loop's Snapshot.
+				shared.Counter("test.shared.ops").Inc()
+				shared.FloatCounter("test.shared.cost").Add(0.5)
+				shared.Histogram("test.shared.depth").Observe(int64(k))
+				// Writes to the job's private registry, racing the
+				// LiveMetrics fold of other jobs.
+				p.Obs.Counter("test.job.ops").Inc()
+				p.Obs.FloatCounter("test.job.cost").Add(1.25)
+				p.Obs.Histogram("test.job.depth").Observe(int64(k))
+				p.Obs.Profile().Add(1, "phase")
+			}
+			return nil, nil
+		}}
+	}
+
+	stop := make(chan struct{})
+	scrapes := new(atomic.Int64)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			samples := reg.Snapshot()
+			if err := obshttp.WriteProm(io.Discard, samples, nil); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				return
+			}
+			_ = prog.Snapshot()
+			_ = prof.Folded()
+			scrapes.Add(1)
+		}
+	}()
+
+	outcomes, err := Run(context.Background(), jobs, Options{
+		Workers: 8, Metrics: true, LiveMetrics: true,
+		Obs: shared, Progress: prog, Profile: prof,
+	})
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != n {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), n)
+	}
+	if got := reg.Counter("test.shared.ops").Value(); got != n*100 {
+		t.Errorf("shared ops = %d, want %d", got, n*100)
+	}
+	// The LiveMetrics fold must account for every job's private writes.
+	if got := reg.Counter("test.job.ops").Value(); got != n*100 {
+		t.Errorf("folded job ops = %d, want %d", got, n*100)
+	}
+	if got := reg.Histogram("test.job.depth").Count(); got != n*100 {
+		t.Errorf("folded job depth count = %d, want %d", got, n*100)
+	}
+	s := prog.Snapshot()
+	if !s.Done || s.Completed != n {
+		t.Errorf("progress done=%v completed=%d, want true/%d", s.Done, s.Completed, n)
+	}
+	if scrapes.Load() == 0 {
+		t.Error("scrape loop never ran")
 	}
 }

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestProgressTransitions drives one job through queued → running → ok
+// and checks each intermediate snapshot, then verifies terminal counts
+// for a mixed ok/failed run.
+func TestProgressTransitions(t *testing.T) {
+	prog := NewProgress()
+	release := make(chan struct{})
+	runningSeen := make(chan struct{})
+	jobs := []Job{
+		{ID: "A", Run: func(ctx context.Context, p Params) (any, error) {
+			close(runningSeen)
+			<-release
+			return "done", nil
+		}},
+		{ID: "B", Run: func(ctx context.Context, p Params) (any, error) {
+			return nil, errors.New("boom")
+		}},
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), jobs, Options{
+			Workers: 1, KeepGoing: true, Progress: prog,
+		})
+		done <- err
+	}()
+
+	<-runningSeen
+	s := prog.Snapshot()
+	if s.Total != 2 || s.Running != 1 || s.Queued != 1 {
+		t.Errorf("mid-run snapshot = %+v, want total 2 running 1 queued 1", s)
+	}
+	if s.Jobs[0].Status != "running" || s.Jobs[1].Status != "queued" {
+		t.Errorf("job states = %q/%q, want running/queued", s.Jobs[0].Status, s.Jobs[1].Status)
+	}
+	if s.Done {
+		t.Error("Done before Run returned")
+	}
+	close(release)
+	if err := <-done; err == nil {
+		t.Fatal("expected job B's failure to surface")
+	}
+
+	s = prog.Snapshot()
+	if !s.Done {
+		t.Error("not Done after Run returned")
+	}
+	if s.Completed != 1 || s.Failed != 1 || s.Running != 0 || s.Queued != 0 {
+		t.Errorf("terminal snapshot = %+v, want completed 1 failed 1", s)
+	}
+	if s.Jobs[0].Status != "ok" || s.Jobs[1].Status != "failed" {
+		t.Errorf("terminal job states = %q/%q", s.Jobs[0].Status, s.Jobs[1].Status)
+	}
+	if s.Jobs[0].WallMS <= 0 {
+		t.Errorf("job A wall = %v, want > 0", s.Jobs[0].WallMS)
+	}
+	if s.Jobs[0].UpdatedMS < s.Jobs[0].StartMS {
+		t.Errorf("job A updated %v < start %v", s.Jobs[0].UpdatedMS, s.Jobs[0].StartMS)
+	}
+}
+
+// TestProgressSkippedAndGauges: on a fail-fast sweep the tracker
+// reports skips, and the live gauges mirror the final counts.
+func TestProgressSkippedAndGauges(t *testing.T) {
+	prog := NewProgress()
+	reg := obs.NewRegistry()
+	const n = 6
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Run: func(ctx context.Context, p Params) (any, error) {
+			return nil, errors.New("boom")
+		}}
+	}
+	_, err := Run(context.Background(), jobs, Options{
+		Workers: 1, Progress: prog, Obs: obs.New(reg, nil),
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	s := prog.Snapshot()
+	if s.Failed != 1 || s.Skipped != n-1 {
+		t.Errorf("snapshot = %+v, want failed 1 skipped %d", s, n-1)
+	}
+	if g := reg.Gauge("sweep.jobs.running").Value(); g != 0 {
+		t.Errorf("sweep.jobs.running gauge = %d, want 0", g)
+	}
+	if g := reg.Gauge("sweep.jobs.queued").Value(); g != 0 {
+		t.Errorf("sweep.jobs.queued gauge = %d, want 0", g)
+	}
+}
+
+// TestProgressETA: the estimate is median wall time × remaining ÷
+// workers, from the tracker's own histogram.
+func TestProgressETA(t *testing.T) {
+	p := NewProgress()
+	p.begin([]Job{{ID: "A"}, {ID: "B"}, {ID: "C"}, {ID: "D"}}, 2, nil)
+	p.jobRunning(0)
+	p.jobFinished(0, StatusOK, 40*time.Millisecond)
+	s := p.Snapshot()
+	if s.ETAMS <= 0 {
+		t.Fatalf("ETA = %v after one finished job, want > 0", s.ETAMS)
+	}
+	// One 40 ms observation lands in bucket [32, 64); three jobs remain
+	// across two workers, so the estimate lies in (1.5*32, 1.5*64].
+	if s.ETAMS <= 48 || s.ETAMS > 96 {
+		t.Errorf("ETA = %v ms, want within (48, 96]", s.ETAMS)
+	}
+	if s.ElapsedMS < 0 {
+		t.Errorf("Elapsed = %v", s.ElapsedMS)
+	}
+}
+
+// TestProgressNil: a nil tracker no-ops across the whole engine path.
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.begin(nil, 1, nil)
+	p.jobRunning(0)
+	p.jobSkipped(0)
+	p.jobFinished(0, StatusOK, 0)
+	p.finish()
+	if s := p.Snapshot(); s.Total != 0 || s.Done {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+// TestOutcomeStartOffsets: started jobs record a start offset and
+// RecordOf carries it as start_ms; skipped jobs omit it.
+func TestOutcomeStartOffsets(t *testing.T) {
+	jobs := []Job{
+		{ID: "A", Run: func(ctx context.Context, p Params) (any, error) {
+			time.Sleep(2 * time.Millisecond)
+			return nil, nil
+		}},
+		{ID: "B", Run: func(ctx context.Context, p Params) (any, error) {
+			return nil, errors.New("boom")
+		}},
+		{ID: "C", Run: func(ctx context.Context, p Params) (any, error) {
+			return nil, nil
+		}},
+	}
+	outcomes, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if outcomes[0].Start < 0 {
+		t.Errorf("job A start = %v", outcomes[0].Start)
+	}
+	if outcomes[1].Start < outcomes[0].Start+outcomes[0].Wall {
+		t.Errorf("job B started at %v, before A finished at %v",
+			outcomes[1].Start, outcomes[0].Start+outcomes[0].Wall)
+	}
+	if outcomes[2].Status != StatusSkipped || outcomes[2].Start != 0 {
+		t.Errorf("skipped job: status %v start %v, want skipped/0", outcomes[2].Status, outcomes[2].Start)
+	}
+	rec, err := RecordOf(outcomes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.StartMS <= 0 {
+		t.Errorf("record start_ms = %v, want > 0", rec.StartMS)
+	}
+}
+
+// TestProfileScopedPerJob: with Options.Profile every job's observer
+// carries a scope under the job ID, so attributions fold into
+// job-prefixed stacks.
+func TestProfileScopedPerJob(t *testing.T) {
+	prof := obs.NewProfile()
+	jobs := []Job{
+		{ID: "E01", Run: func(ctx context.Context, p Params) (any, error) {
+			p.Obs.Profile().Add(2, "hmm", "compute")
+			return nil, nil
+		}},
+		{ID: "E02", Run: func(ctx context.Context, p Params) (any, error) {
+			p.Obs.Profile().Add(3, "bt", "swap")
+			return nil, nil
+		}},
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 2, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	got := prof.Folded()
+	want := []obs.StackCost{
+		{Stack: "E01;hmm;compute", Cost: 2},
+		{Stack: "E02;bt;swap", Cost: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Folded = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Folded[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

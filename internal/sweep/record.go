@@ -23,8 +23,12 @@ type Record struct {
 	Err string `json:"err,omitempty"`
 	// Seed is the deterministic seed the job ran under.
 	Seed uint64 `json:"seed"`
-	// WallMS is the job's wall-clock time in milliseconds. It is the
-	// one field that varies between byte-identical sweeps.
+	// StartMS is the job's start offset since the sweep began, in
+	// milliseconds (absent when skipped). With WallMS it reconstructs
+	// the sweep's schedule offline.
+	StartMS float64 `json:"start_ms,omitempty"`
+	// WallMS is the job's wall-clock time in milliseconds. Like
+	// StartMS it varies between byte-identical sweeps.
 	WallMS float64 `json:"wall_ms"`
 	// Value is the job result encoded as JSON, for ok outcomes whose
 	// value is JSON-encodable.
@@ -69,6 +73,7 @@ func RecordOf(o Outcome) (Record, error) {
 		Seq:     o.Seq,
 		Status:  string(o.Status),
 		Seed:    o.Seed,
+		StartMS: float64(o.Start.Microseconds()) / 1000,
 		WallMS:  float64(o.Wall.Microseconds()) / 1000,
 		Metrics: metricsOf(o.Metrics),
 	}

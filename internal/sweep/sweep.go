@@ -89,6 +89,10 @@ type Outcome struct {
 	Err error
 	// Seed is the deterministic seed the job ran under.
 	Seed uint64
+	// Start is the job's start offset since the sweep began (zero when
+	// skipped). Together with Wall it reconstructs the sweep's schedule
+	// for timeline views.
+	Start time.Duration
 	// Wall is the job's wall-clock duration (zero when skipped).
 	Wall time.Duration
 	// Metrics is the snapshot of the job's private registry, when the
@@ -114,6 +118,22 @@ type Options struct {
 	// (if any) is shared with every job for structured tracing. May be
 	// nil.
 	Obs *obs.Observer
+	// LiveMetrics folds each finished job's metric snapshot into Obs's
+	// registry as the sweep runs, so a live /metrics scrape sees
+	// simulator families (hmm_*, bt_*, ...) before Run returns. The fold
+	// happens in completion order — fine for the monotone counters and
+	// histograms a scrape reads, but anyone needing the deterministic
+	// aggregate should fold Outcome.Metrics in submission order instead.
+	LiveMetrics bool
+	// Progress, when non-nil, receives per-job state transitions
+	// (queued → running → ok/failed/skipped) for live /debug/progress
+	// polling. May be nil.
+	Progress *Progress
+	// Profile, when non-nil, is the run's span-stack cost profile: each
+	// job's observer gets a scope under the job's ID, so simulator cost
+	// attributions fold into stacks like "E05;hmm;label.3;compute". May
+	// be nil.
+	Profile *obs.Profile
 }
 
 // SeedFor derives the deterministic seed of job id under base: an
@@ -151,6 +171,11 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	//lint:ignore detseed the sweep start anchors Outcome.Start offsets and progress timestamps only, never job results
+	sweepStart := time.Now()
+	opt.Progress.begin(jobs, workers, opt.Obs)
+	defer opt.Progress.finish()
 
 	var (
 		started   = opt.Obs.Counter("sweep.jobs.started")
@@ -193,6 +218,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 				if err := ctx.Err(); err != nil {
 					out.Status, out.Err = StatusSkipped, err
 					skipped.Inc()
+					opt.Progress.jobSkipped(i)
 					continue
 				}
 				p := Params{Quick: opt.Quick, Seed: out.Seed}
@@ -204,26 +230,38 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 				if opt.Obs != nil {
 					sink = opt.Obs.Sink
 				}
-				if reg != nil || sink != nil {
+				var prof *obs.Profile
+				if opt.Profile != nil {
+					prof = opt.Profile.Scope(job.ID)
+				}
+				if reg != nil || sink != nil || prof != nil {
 					p.Obs = obs.New(reg, sink)
+					p.Obs.Prof = prof
 				}
 				started.Inc()
-				//lint:ignore detseed wall-clock capture only feeds Outcome.Wall and the wall_ms histogram, never the byte-identical job results
+				opt.Progress.jobRunning(i)
+				//lint:ignore detseed wall-clock capture only feeds Outcome.Start/Wall and the wall_ms histogram, never the byte-identical job results
 				begin := time.Now()
+				out.Start = begin.Sub(sweepStart)
 				val, err := runJob(ctx, job, p)
 				out.Wall = time.Since(begin)
 				wallHist.Observe(out.Wall.Milliseconds())
 				if reg != nil {
 					out.Metrics = reg.Snapshot()
+					if opt.LiveMetrics && opt.Obs != nil {
+						opt.Obs.Reg.Import(out.Metrics)
+					}
 				}
 				if err != nil {
 					out.Status, out.Err = StatusFailed, err
 					failed.Inc()
+					opt.Progress.jobFinished(i, StatusFailed, out.Wall)
 					fail(fmt.Errorf("sweep: job %s: %w", job.ID, err))
 					continue
 				}
 				out.Status, out.Value = StatusOK, val
 				completed.Inc()
+				opt.Progress.jobFinished(i, StatusOK, out.Wall)
 			}
 		}()
 	}

@@ -4,7 +4,10 @@
 # reordered, a float folded differently, an extra access — shows up here as
 # a diff long before it shows up as a wrong conclusion.
 #
-# Usage: scripts/check_experiments.sh   (from anywhere inside the repo)
+# Usage: scripts/check_experiments.sh [extra experiments flags...]
+# (from anywhere inside the repo). Extra flags are passed through to the
+# binary — e.g. `-serve 127.0.0.1:0 -cost-profile /tmp/cost.folded` proves
+# the observability layer leaves the tables byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +15,7 @@ bin=$(mktemp) out=$(mktemp) body=$(mktemp)
 trap 'rm -f "$bin" "$out" "$body"' EXIT
 
 go build -o "$bin" ./cmd/experiments
-"$bin" -workers=1 >"$out"
+"$bin" -workers=1 "$@" >"$out"
 
 # Drop the two-line generated header ("# Experiment tables (generated …)"
 # plus the blank line after it); the date changes per run. Everything after

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Observability smoke: run a sweep with the live endpoint enabled, scrape
+# /metrics and /debug/progress while the server lingers, and require a
+# clean exit after SIGINT. This is the shell-level twin of the
+# TestServeLiveObservability CLI test — it proves the same flow works
+# outside the Go test harness, with curl as the scraper.
+#
+# Usage: scripts/obs_smoke.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp) errlog=$(mktemp) metrics=$(mktemp) progress=$(mktemp)
+cleanup() {
+  [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  rm -f "$bin" "$errlog" "$metrics" "$progress"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/experiments
+"$bin" -quick -serve 127.0.0.1:0 -serve-linger 60s 2>"$errlog" >/dev/null &
+pid=$!
+
+# The bound address is announced on stderr before the sweep starts.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's,.*serving observability on http://,,p' "$errlog" | head -n1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$errlog" >&2; echo "obs smoke FAILED: process died before serving" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "obs smoke FAILED: no serving line on stderr" >&2; exit 1; }
+
+# Poll /debug/progress until the sweep reports done.
+done=""
+for _ in $(seq 1 300); do
+  curl -fsS "http://$addr/debug/progress" >"$progress"
+  if grep -q '"done": true' "$progress"; then done=1; break; fi
+  sleep 0.1
+done
+[ -n "$done" ] || { cat "$progress" >&2; echo "obs smoke FAILED: sweep never reported done" >&2; exit 1; }
+grep -q '"status": "ok"' "$progress" || { cat "$progress" >&2; echo "obs smoke FAILED: no ok jobs in progress" >&2; exit 1; }
+
+# /metrics must carry the sweep engine families and the hmm.* families in
+# Prometheus text format, /healthz must answer.
+curl -fsS "http://$addr/metrics" >"$metrics"
+for want in '# TYPE sweep_jobs_started counter' 'sweep_job_wall_ms_bucket' 'hmm_cost_total'; do
+  grep -qF "$want" "$metrics" || { echo "obs smoke FAILED: /metrics missing '$want'" >&2; exit 1; }
+done
+curl -fsS "http://$addr/healthz" | grep -q ok || { echo "obs smoke FAILED: /healthz" >&2; exit 1; }
+
+# Interrupt the linger: a clean run must exit 0.
+kill -INT "$pid"
+wait "$pid" || { echo "obs smoke FAILED: nonzero exit after SIGINT" >&2; exit 1; }
+pid=""
+echo "obs smoke OK: scraped /metrics + /debug/progress at $addr, clean exit"
