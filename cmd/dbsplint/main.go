@@ -1,7 +1,10 @@
 // Command dbsplint runs the repo's custom static-analysis suite
-// (internal/lint) over the module: the syntactic convention checks plus
+// (internal/lint) over the module: the syntactic convention checks,
 // the dbspvet typed pass that verifies D-BSP program shape and
-// determinism. Findings print one per line as
+// determinism, and the dataflow analyzers (sharesafe, lockdiscipline,
+// snapshotonly, bulkcharge) that prove the concurrency and bulk-charge
+// disciplines over per-function control-flow graphs. Findings print
+// one per line as
 //
 //	file:line: analyzer: message
 //

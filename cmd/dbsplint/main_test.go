@@ -72,7 +72,8 @@ func TestFixtureTreeFails(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge"} {
+	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge",
+		"sharesafe", "lockdiscipline", "snapshotonly", "bulkcharge"} {
 		if !strings.Contains(out, ": "+analyzer+": ") {
 			t.Errorf("no %s finding in output:\n%s", analyzer, out)
 		}
@@ -105,7 +106,8 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d:\n%s", code, out)
 	}
-	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge"} {
+	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge",
+		"sharesafe", "lockdiscipline", "snapshotonly", "bulkcharge"} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("-list missing %s:\n%s", analyzer, out)
 		}

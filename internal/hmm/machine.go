@@ -313,6 +313,7 @@ func (m *Machine) MoveRange(src, dst, n int64) {
 		// Tracing needs one event per word access in the legacy order.
 		if dst < src {
 			for i := int64(0); i < n; i++ {
+				//lint:ignore bulkcharge the tracing path must emit one event per word in legacy order
 				m.Write(dst+i, m.Read(src+i))
 			}
 		} else {
@@ -363,6 +364,7 @@ func (m *Machine) SwapRange(a, b, n int64) {
 	m.checkAddr(b + n - 1)
 	if m.Trace != nil {
 		for i := int64(0); i < n; i++ {
+			//lint:ignore bulkcharge the tracing path must emit one event per word in legacy order
 			m.SwapWords(a+i, b+i)
 		}
 		return
@@ -409,6 +411,7 @@ func (m *Machine) StreamWords(src, dst, n int64) {
 	m.checkAddr(dst + n - 1)
 	if m.Trace != nil {
 		for i := int64(0); i < n; i++ {
+			//lint:ignore bulkcharge the tracing path must emit one event per word in legacy order
 			m.Write(dst+i, m.Read(src+i))
 		}
 		return
@@ -444,6 +447,7 @@ func (m *Machine) Touch(n int64) {
 	}
 	if m.Trace != nil {
 		for x := int64(0); x < n; x++ {
+			//lint:ignore bulkcharge the tracing path must emit one event per word in legacy order
 			m.Read(x)
 		}
 		return
@@ -463,6 +467,7 @@ func (m *Machine) ReadRange(addr int64, dst []Word) {
 	m.checkAddr(addr + n - 1)
 	if m.Trace != nil {
 		for i := int64(0); i < n; i++ {
+			//lint:ignore bulkcharge the tracing path must emit one event per word in legacy order
 			dst[i] = m.Read(addr + i)
 		}
 		return
@@ -482,6 +487,7 @@ func (m *Machine) WriteRange(addr int64, src []Word) {
 	m.checkAddr(addr + n - 1)
 	if m.Trace != nil {
 		for i := int64(0); i < n; i++ {
+			//lint:ignore bulkcharge the tracing path must emit one event per word in legacy order
 			m.Write(addr+i, src[i])
 		}
 		return

@@ -1,0 +1,50 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintSuite measures a full dbsplint run over the repository's
+// own module — load, type-check, and every analyzer including the
+// dataflow layer. The load is done once outside the timed loop so the
+// number tracks analysis cost, which is what grows with new analyzers;
+// BenchmarkLintLoad isolates the parse+typecheck front end.
+func BenchmarkLintSuite(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modpath, err := ModulePath(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := Load(root, modpath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := Run(pkgs, analyzers); len(findings) != 0 {
+			b.Fatalf("repo not clean: %v", findings[0])
+		}
+	}
+}
+
+// BenchmarkLintLoad measures the front end alone: walking the module,
+// parsing every file, and the dependency-ordered type-check.
+func BenchmarkLintLoad(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modpath, err := ModulePath(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load(root, modpath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		TypeCheck(pkgs)
+	}
+}

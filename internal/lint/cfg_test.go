@@ -1,0 +1,508 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// cfgFor loads src as package p, type-checks it, and returns the
+// package plus the named function's declaration and Dataflow.
+func cfgFor(t *testing.T, src, fnName string) (*Package, *ast.FuncDecl, *Dataflow) {
+	t.Helper()
+	pkgs := loadTemp(t, map[string]string{"p/p.go": src})
+	TypeCheck(pkgs)
+	pkg := pkgs[0]
+	if pkg.Info == nil {
+		t.Fatal("package not type-checked")
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == fnName {
+				d := NewDataflow(pkg, fn)
+				if d == nil {
+					t.Fatalf("NewDataflow(%s) = nil", fnName)
+				}
+				return pkg, fn, d
+			}
+		}
+	}
+	t.Fatalf("function %s not found", fnName)
+	return nil, nil, nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+func F() int {
+	a := 1
+	b := a + 1
+	return b
+}
+`, "F")
+	c := d.CFG
+	if len(c.Entry.Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3", len(c.Entry.Nodes))
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Errorf("entry succs = %v, want [Exit]", c.Entry.Succs)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+func F(cond bool) int {
+	x := 0
+	if cond {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}
+`, "F")
+	c := d.CFG
+	// The condition block must fork two ways, and both branch blocks
+	// must rejoin at the block holding the return.
+	if n := len(c.Entry.Succs); n != 2 {
+		t.Fatalf("condition block has %d successors, want 2", n)
+	}
+	var retBlock *Block
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = blk
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no block holds the return")
+	}
+	if len(retBlock.Preds) != 2 {
+		t.Errorf("join block has %d preds, want 2 (then and else)", len(retBlock.Preds))
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+func F(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`, "F")
+	c := d.CFG
+	// Find the head block (holds the condition, two successors) and
+	// check it participates in a cycle: some reachable path returns.
+	var head *Block
+	for _, blk := range c.Blocks {
+		if len(blk.Succs) == 2 {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("no two-way head block in loop CFG")
+	}
+	// The head must be reachable from itself through the body+post.
+	seen := map[*Block]bool{}
+	work := append([]*Block{}, head.Succs...)
+	inCycle := false
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		if blk == head {
+			inCycle = true
+			break
+		}
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		work = append(work, blk.Succs...)
+	}
+	if !inCycle {
+		t.Error("loop head has no back edge through the body")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable from entry")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+func F(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 100 {
+			break
+		}
+		s += x
+	}
+	return s
+}
+`, "F")
+	if !reachable(d.CFG)[d.CFG.Exit] {
+		t.Error("exit unreachable with break/continue present")
+	}
+	// The `s += x` statement must sit in a reachable block (continue
+	// and break must not orphan the rest of the body).
+	r := reachable(d.CFG)
+	found := false
+	for blk := range r {
+		for _, n := range blk.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "s" && len(blk.Preds) > 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("loop body tail not reachable")
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+var sink int
+
+func F() int {
+	return 1
+	sink = 2
+	return 3
+}
+`, "F")
+	r := reachable(d.CFG)
+	for _, blk := range d.CFG.Blocks {
+		for _, n := range blk.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "sink" {
+					if r[blk] || len(blk.Preds) != 0 {
+						t.Errorf("dead statement's block reachable=%v preds=%d, want unreachable with no preds", r[blk], len(blk.Preds))
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("dead statement not placed in any block")
+}
+
+func TestCFGGotoAndLabels(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+func F(n int) int {
+	s := 0
+loop:
+	s++
+	if s < n {
+		goto loop
+	}
+	return s
+}
+`, "F")
+	if !reachable(d.CFG)[d.CFG.Exit] {
+		t.Error("exit unreachable in goto loop")
+	}
+	// The labeled block must have at least two preds: fallthrough from
+	// entry and the goto back edge.
+	var labeled *Block
+	for _, blk := range d.CFG.Blocks {
+		for _, n := range blk.Nodes {
+			if inc, ok := n.(*ast.IncDecStmt); ok {
+				if id, ok := inc.X.(*ast.Ident); ok && id.Name == "s" {
+					labeled = blk
+				}
+			}
+		}
+	}
+	if labeled == nil {
+		t.Fatal("labeled statement not found")
+	}
+	if len(labeled.Preds) < 2 {
+		t.Errorf("labeled block has %d preds, want >= 2 (entry + goto)", len(labeled.Preds))
+	}
+}
+
+func TestCFGSwitchShapes(t *testing.T) {
+	_, _, d := cfgFor(t, `package p
+
+func F(n int) int {
+	s := 0
+	switch n {
+	case 1:
+		s = 1
+		fallthrough
+	case 2:
+		s += 2
+	case 3:
+		s = 3
+	}
+	return s
+}
+`, "F")
+	c := d.CFG
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable in switch")
+	}
+	// case 2's block must have two preds: the switch head and the
+	// fallthrough edge from case 1.
+	var case2 *Block
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "s" && as.Tok.String() == "+=" {
+					case2 = blk
+				}
+			}
+		}
+	}
+	if case2 == nil {
+		t.Fatal("case 2 block not found")
+	}
+	if len(case2.Preds) != 2 {
+		t.Errorf("fallthrough case has %d preds, want 2 (head + fallthrough)", len(case2.Preds))
+	}
+}
+
+// declaredVar finds the *types.Var defined for an identifier named
+// name anywhere in the function.
+func declaredVar(t *testing.T, pkg *Package, fn *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	var v *types.Var
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		if def, ok := pkg.Info.Defs[id].(*types.Var); ok && v == nil {
+			v = def
+		}
+		return true
+	})
+	if v == nil {
+		t.Fatalf("variable %s not found", name)
+	}
+	return v
+}
+
+// findUseNode locates the block node holding the return statement.
+func returnNode(t *testing.T, d *Dataflow) ast.Node {
+	t.Helper()
+	for _, blk := range d.CFG.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				return n
+			}
+		}
+	}
+	t.Fatal("no return node in CFG")
+	return nil
+}
+
+func TestReachingDefsBranchesMerge(t *testing.T) {
+	pkg, fn, d := cfgFor(t, `package p
+
+func F(cond bool) int {
+	x := 0
+	if cond {
+		x = 1
+	}
+	return x
+}
+`, "F")
+	x := declaredVar(t, pkg, fn, "x")
+	defs := d.ReachingDefs(returnNode(t, d), x)
+	// Both the initial 0 and the branch's 1 reach the return.
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs at return, want 2", len(defs))
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	pkg, fn, d := cfgFor(t, `package p
+
+func F() int {
+	x := 0
+	x = 1
+	x = 2
+	return x
+}
+`, "F")
+	x := declaredVar(t, pkg, fn, "x")
+	defs := d.ReachingDefs(returnNode(t, d), x)
+	if len(defs) != 1 {
+		t.Fatalf("got %d reaching defs, want 1 (straight-line redefinition kills)", len(defs))
+	}
+	lit, ok := defs[0].(*ast.BasicLit)
+	if !ok || lit.Value != "2" {
+		t.Errorf("surviving def site = %#v, want the literal 2", defs[0])
+	}
+}
+
+func TestReachingDefsLoopBackEdge(t *testing.T) {
+	pkg, fn, d := cfgFor(t, `package p
+
+func F(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	return x
+}
+`, "F")
+	x := declaredVar(t, pkg, fn, "x")
+	defs := d.ReachingDefs(returnNode(t, d), x)
+	// Zero-trip (x := 0) and loop-body (x = i) defs both reach.
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs after loop, want 2", len(defs))
+	}
+}
+
+func TestFreeVarsCaptures(t *testing.T) {
+	pkg, fn, _ := cfgFor(t, `package p
+
+var global int
+
+func F(a, b int) func(int) int {
+	c := a + 1
+	return func(d int) int {
+		e := d
+		return c + b + e + global
+	}
+}
+`, "F")
+	var lit *ast.FuncLit
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no function literal")
+	}
+	got := map[string]bool{}
+	for _, v := range FreeVars(pkg, fn, lit) {
+		got[v.Name()] = true
+	}
+	// c and b are captured; d and e are the literal's own, global is
+	// package state, a is unused inside the literal.
+	for _, want := range []string{"c", "b"} {
+		if !got[want] {
+			t.Errorf("FreeVars missing %s (got %v)", want, got)
+		}
+	}
+	for _, bad := range []string{"a", "d", "e", "global"} {
+		if got[bad] {
+			t.Errorf("FreeVars wrongly includes %s", bad)
+		}
+	}
+}
+
+func TestRefLike(t *testing.T) {
+	pkg, fn, _ := cfgFor(t, `package p
+
+type holder struct {
+	buf []int
+}
+
+type flat struct {
+	a, b int
+}
+
+func F(
+	s []int,
+	m map[string]int,
+	ptr *int,
+	ch chan int,
+	fp func(),
+	iface any,
+	h holder,
+	fl flat,
+	n int,
+	arr [4]int,
+) {
+}
+`, "F")
+	want := map[string]bool{
+		"s": true, "m": true, "ptr": true, "ch": true, "fp": true,
+		"iface": true, "h": true,
+		"fl": false, "n": false, "arr": false,
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			v := pkg.Info.Defs[name].(*types.Var)
+			if got := refLike(v.Type()); got != want[name.Name] {
+				t.Errorf("refLike(%s %s) = %v, want %v", name.Name, v.Type(), got, want[name.Name])
+			}
+		}
+	}
+}
+
+func TestBasePath(t *testing.T) {
+	pkg, fn, _ := cfgFor(t, `package p
+
+type inner struct{ mu, other int }
+
+type outer struct {
+	root  *inner
+	elems []inner
+}
+
+func F(o *outer) (int, int, int) {
+	a := o.root.mu
+	b := o.elems[0].mu
+	c := o.root.other
+	return a, b, c
+}
+`, "F")
+	exprs := map[string]ast.Expr{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			exprs[id.Name] = as.Rhs[0]
+		}
+		return true
+	})
+	base, path, ok := basePath(pkg, exprs["a"])
+	if !ok || base.Name() != "o" || path != "root.mu" {
+		t.Errorf("basePath(o.root.mu) = (%v, %q, %v), want (o, root.mu, true)", base, path, ok)
+	}
+	if _, _, ok := basePath(pkg, exprs["b"]); ok {
+		t.Error("basePath through an index expression must give up (ok = false)")
+	}
+	base, path, ok = basePath(pkg, exprs["c"])
+	if !ok || base.Name() != "o" || path != "root.other" {
+		t.Errorf("basePath(o.root.other) = (%v, %q, %v), want (o, root.other, true)", base, path, ok)
+	}
+}

@@ -5,7 +5,7 @@
 // one convention; cmd/dbsplint runs the whole suite over the module
 // and fails CI on any finding.
 //
-// The framework has two layers. The syntactic analyzers (nilguard,
+// The framework has three layers. The syntactic analyzers (nilguard,
 // panicmsg, exitdiscipline) inspect parse trees only — their invariants
 // are purely syntactic disciplines. The dbspvet typed pass (typed.go)
 // adds full go/types information through a custom importer that checks
@@ -14,7 +14,12 @@
 // analyzers (stepshape, stepconfine, detseed, costcharge) use it to
 // statically prove the paper's Section 2 program discipline, handler
 // state confinement, sweep determinism and the cost-partition identity.
-// Everything stays in the standard library, so dbsplint remains
+// The dataflow layer (cfg.go, dataflow.go) builds per-function
+// control-flow graphs and reaching definitions on top of the typed
+// pass; the dataflow analyzers (sharesafe, lockdiscipline,
+// snapshotonly, bulkcharge) use it for the flow-sensitive concurrency
+// and cost disciplines the sharded engine refactor depends on
+// (DESIGN §10). Everything stays in the standard library, so dbsplint remains
 // dependency-free (go.mod has no requirements) and fast enough to run
 // on every push.
 //
@@ -45,6 +50,11 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the package under inspection.
 	Pkg *Package
+	// All is every module package in the run (Pkg included), for
+	// module-wide analyzers like snapshotonly that chase calls across
+	// package boundaries. All packages share one FileSet, so positions
+	// from any of them render correctly through Reportf.
+	All []*Package
 	// findings accumulates reports across the whole run.
 	findings *[]Finding
 }
@@ -83,7 +93,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &findings})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, findings: &findings})
 		}
 	}
 	findings = applyDirectives(pkgs, analyzers, findings)
@@ -111,6 +121,10 @@ func Analyzers() []*Analyzer {
 		StepConfine,
 		DetSeed,
 		CostCharge,
+		ShareSafe,
+		LockDiscipline,
+		SnapshotOnly,
+		BulkCharge,
 	}
 }
 

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"runtime"
+	"testing"
+)
+
+// TestBuildTagSatisfied pins the tag vocabulary Load understands: the
+// host GOOS/GOARCH, the unix umbrella, toolchain tags, and go1.N
+// release gates. Anything else — including "ignore" — is unsatisfied,
+// which is what makes //go:build ignore exclude generator scripts.
+func TestBuildTagSatisfied(t *testing.T) {
+	cases := []struct {
+		tag  string
+		want bool
+	}{
+		{runtime.GOOS, true},
+		{runtime.GOARCH, true},
+		{"gc", true},
+		{"cgo", true},
+		{"unix", unixGOOS[runtime.GOOS]},
+		{"plan9", runtime.GOOS == "plan9"},
+		{"ignore", false},
+		{"purego", false},
+		{"mips64le", runtime.GOARCH == "mips64le"},
+		{"go1.1", true},
+		{"go1.22", true}, // the module's own floor
+		{"go1.9999", false},
+		{"go1.x", false}, // malformed release tag
+	}
+	for _, tc := range cases {
+		if got := buildTagSatisfied(tc.tag); got != tc.want {
+			t.Errorf("buildTagSatisfied(%q) = %v, want %v", tc.tag, got, tc.want)
+		}
+	}
+}
+
+// TestExcludedByBuildTags drives the constraint evaluator over whole
+// files: satisfied, unsatisfied, and negated //go:build lines, legacy
+// // +build comments (not constraints since Go 1.17 — ignored), and
+// malformed expressions (kept, like a missing constraint).
+func TestExcludedByBuildTags(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		excluded bool
+	}{
+		{"no constraint", "package q\n", false},
+		{"go:build ignore", "//go:build ignore\n\npackage q\n", true},
+		{"negated ignore", "//go:build !ignore\n\npackage q\n", false},
+		{"host GOOS", fmt.Sprintf("//go:build %s\n\npackage q\n", runtime.GOOS), false},
+		{"negated host GOOS", fmt.Sprintf("//go:build !%s\n\npackage q\n", runtime.GOOS), true},
+		{"other GOOS pair", "//go:build plan9 && wasm\n\npackage q\n", runtime.GOOS != "plan9" || runtime.GOARCH != "wasm"},
+		{"satisfied release gate", "//go:build go1.1\n\npackage q\n", false},
+		{"future release gate", "//go:build go1.9999\n\npackage q\n", true},
+		{"negated future release", "//go:build !go1.9999\n\npackage q\n", false},
+		{"or rescues ignore", "//go:build ignore || go1.1\n\npackage q\n", false},
+		{"and with ignore", "//go:build go1.1 && ignore\n\npackage q\n", true},
+		{"legacy +build only", "// +build ignore\n\npackage q\n", false},
+		{"constraint after package clause", "package q\n\n//go:build ignore\n\nvar X = 1\n", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, "q.go", tc.src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got := excludedByBuildTags(file); got != tc.excluded {
+				t.Errorf("excludedByBuildTags(%s) = %v, want %v", tc.name, got, tc.excluded)
+			}
+		})
+	}
+}

@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShareSafe enforces the no-write-after-escape discipline the sharded
+// worker-pool engine (ROADMAP: v = 2^20 processors) depends on: once a
+// value reachable from one processor/handler context has been handed
+// to another goroutine — spawned with it, sent over a channel, or
+// captured by a closure that was spawned/sent — the handing-off
+// function must not keep writing it. Such writes race with the
+// receiver outside any superstep barrier, which is exactly the
+// cross-submachine sharing the paper's simulation theorems exclude and
+// the -race job only catches when the schedule cooperates.
+//
+// The analyzer is flow-sensitive over the lint.CFG/lint.Dataflow
+// layer: escape events (go statements, channel sends) generate
+// per-variable escape facts, reaching definitions propagate captures
+// through values a closure was stored into, and every write reachable
+// after an escape fact is flagged. Two escape flavours are tracked:
+//
+//   - captured: the variable's own storage is shared (closure capture,
+//     &v). Every subsequent write races — rebinding included.
+//   - handed off: the value's backing store is shared (slice, map,
+//     pointer passed as argument or sent). Element, field and deref
+//     writes race; rebinding the variable to a fresh value is safe and
+//     clears the fact, except self-appends, which may write the
+//     escaped backing array.
+//
+// A <wg>.Wait() call is treated as a join barrier and clears
+// goroutine-escape facts (channel-send facts persist: the receiver may
+// still hold the value). The analysis is intra-procedural: escapes
+// through callees, and writes performed by later-running closures, are
+// out of scope (DESIGN §10).
+var ShareSafe = &Analyzer{
+	Name: "sharesafe",
+	Doc:  "values handed to a goroutine, channel, or spawned/sent closure must not be written afterwards by the handing-off function",
+	Run:  runShareSafe,
+}
+
+// escKind distinguishes how a variable escaped.
+type escKind uint8
+
+const (
+	// escCapturedGo: variable storage shared with a spawned goroutine.
+	escCapturedGo escKind = iota
+	// escCapturedChan: variable storage shared through a sent closure.
+	escCapturedChan
+	// escValueGo: value backing store handed to a spawned goroutine.
+	escValueGo
+	// escValueChan: value backing store sent over a channel.
+	escValueChan
+)
+
+func (k escKind) captured() bool { return k == escCapturedGo || k == escCapturedChan }
+func (k escKind) viaGo() bool    { return k == escCapturedGo || k == escValueGo }
+
+func (k escKind) how() string {
+	switch k {
+	case escCapturedGo:
+		return "captured by a goroutine's closure"
+	case escCapturedChan:
+		return "captured by a closure sent over a channel"
+	case escValueGo:
+		return "handed to a goroutine"
+	default:
+		return "sent over a channel"
+	}
+}
+
+// escFact is one escape fact: variable v escaped as kind.
+type escFact struct {
+	v    *types.Var
+	kind escKind
+}
+
+// escState maps live escape facts to the earliest escape position,
+// which the finding message cites.
+type escState map[escFact]token.Pos
+
+func (s escState) clone() escState {
+	c := make(escState, len(s))
+	for f, p := range s {
+		c[f] = p
+	}
+	return c
+}
+
+func (s escState) equal(t escState) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for f, p := range s {
+		tp, ok := t[f]
+		if !ok || tp != p {
+			return false
+		}
+	}
+	return true
+}
+
+func runShareSafe(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				shareSafeFn(pass, fn)
+			}
+		}
+		// Function literals run on their own schedule; each body is its
+		// own escape scope.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				shareSafeFn(pass, lit)
+			}
+			return true
+		})
+	}
+}
+
+func shareSafeFn(pass *Pass, fn ast.Node) {
+	d := NewDataflow(pass.Pkg, fn)
+	if d == nil {
+		return
+	}
+	transfer := func(s escState, n ast.Node) escState {
+		gen := escapeEvents(d, n)
+		kills := shareSafeKills(d, n)
+		killsGo := killsGoFacts(n)
+		if len(gen) == 0 && len(kills) == 0 && !killsGo {
+			return s
+		}
+		out := s.clone()
+		if killsGo {
+			for f := range out {
+				if f.kind.viaGo() {
+					delete(out, f)
+				}
+			}
+		}
+		for _, v := range kills {
+			// Rebinding replaces the value; only the handed-off flavour
+			// is cleared (captured storage stays shared).
+			delete(out, escFact{v, escValueGo})
+			delete(out, escFact{v, escValueChan})
+		}
+		for f, p := range gen {
+			if old, ok := out[f]; !ok || p < old {
+				out[f] = p
+			}
+		}
+		return out
+	}
+	in := SolveForward(d.CFG, FlowProblem[escState]{
+		Boundary:    escState{},
+		Unreachable: escState{},
+		Merge: func(a, b escState) escState {
+			m := a.clone()
+			for f, p := range b {
+				if old, ok := m[f]; !ok || p < old {
+					m[f] = p
+				}
+			}
+			return m
+		},
+		Transfer: transfer,
+		Equal:    func(a, b escState) bool { return a.equal(b) },
+	})
+	for _, blk := range d.CFG.Blocks {
+		s := in[blk]
+		for _, n := range blk.Nodes {
+			checkShareSafeWrites(pass, d, s, n)
+			s = transfer(s, n)
+		}
+	}
+}
+
+// escapeEvents returns the escape facts node n generates.
+func escapeEvents(d *Dataflow, n ast.Node) escState {
+	gen := escState{}
+	add := func(v *types.Var, captured, viaGo bool, pos token.Pos) {
+		var k escKind
+		switch {
+		case captured && viaGo:
+			k = escCapturedGo
+		case captured:
+			k = escCapturedChan
+		case viaGo:
+			k = escValueGo
+		default:
+			k = escValueChan
+		}
+		f := escFact{v, k}
+		if old, ok := gen[f]; !ok || pos < old {
+			gen[f] = pos
+		}
+	}
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		call := n.Call
+		visited := map[*types.Var]bool{}
+		escapeRoots(d, n, call.Fun, true, true, visited, add)
+		for _, arg := range call.Args {
+			escapeRoots(d, n, arg, false, true, visited, add)
+		}
+	case *ast.SendStmt:
+		visited := map[*types.Var]bool{}
+		escapeRoots(d, n, n.Value, false, false, visited, add)
+	}
+	return gen
+}
+
+// escapeRoots walks one escaping expression and reports the local
+// variables whose storage (captured=true) or backing value
+// (captured=false) becomes shared. asFun marks the function position
+// of a go statement, where a plain identifier is a func value whose
+// reaching closure definitions capture, rather than a handed-off
+// value.
+func escapeRoots(d *Dataflow, at ast.Node, e ast.Expr, asFun, viaGo bool,
+	visited map[*types.Var]bool, add func(v *types.Var, captured, viaGo bool, pos token.Pos)) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		for _, v := range FreeVars(d.Pkg, d.Fn, e) {
+			add(v, true, viaGo, e.Pos())
+		}
+	case *ast.Ident:
+		v := d.localVar(e)
+		if v == nil || visited[v] {
+			return
+		}
+		visited[v] = true
+		if !asFun && refLike(v.Type()) {
+			add(v, false, viaGo, e.Pos())
+		}
+		// Definitions reaching the event may hold closures (or
+		// composites holding closures) whose captures escape with the
+		// value — the jobs-slice-of-handlers pattern.
+		for _, site := range d.ReachingDefs(at, v) {
+			if expr, ok := site.(ast.Expr); ok {
+				escapeIndirect(d, at, expr, viaGo, visited, add)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return
+		}
+		if id := rootIdent(e.X); id != nil {
+			if v := d.localVar(id); v != nil && !visited[v] {
+				visited[v] = true
+				// &v shares the variable's own storage.
+				add(v, true, viaGo, e.Pos())
+			}
+		}
+		escapeIndirect(d, at, e.X, viaGo, visited, add)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			escapeRoots(d, at, elt, false, viaGo, visited, add)
+		}
+	case *ast.SliceExpr:
+		escapeRoots(d, at, e.X, false, viaGo, visited, add)
+	}
+}
+
+// escapeIndirect chases closures nested in a definition or operand:
+// function literals capture, composites may hold function literals.
+func escapeIndirect(d *Dataflow, at ast.Node, e ast.Expr, viaGo bool,
+	visited map[*types.Var]bool, add func(v *types.Var, captured, viaGo bool, pos token.Pos)) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		for _, v := range FreeVars(d.Pkg, d.Fn, e) {
+			add(v, true, viaGo, e.Pos())
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			escapeIndirect(d, at, elt, viaGo, visited, add)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			escapeIndirect(d, at, e.X, viaGo, visited, add)
+		}
+	}
+}
+
+// shareSafeKills returns variables wholly rebound by n (the handed-off
+// escape flavour is cleared for them).
+func shareSafeKills(d *Dataflow, n ast.Node) []*types.Var {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := d.localVar(id)
+		if v == nil {
+			continue
+		}
+		if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) && selfAppend(d.Pkg, as.Rhs[i], v) {
+			continue // v = append(v, ...) keeps the escaped backing array
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// killsGoFacts reports whether n contains a <wg>.Wait() call — the
+// join barrier after which spawned goroutines are done.
+func killsGoFacts(n ast.Node) bool {
+	found := false
+	scanBlockNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(call.Args) == 0 {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// selfAppend reports whether e is append(v, ...) for the same v.
+func selfAppend(pkg *Package, e ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && objectOf(pkg, arg) == v
+}
+
+// checkShareSafeWrites flags writes in n that touch escaped state,
+// given the escape facts at n's entry.
+func checkShareSafeWrites(pass *Pass, d *Dataflow, s escState, n ast.Node) {
+	if len(s) == 0 {
+		return
+	}
+	report := func(id *ast.Ident, f escFact, escPos token.Pos, mutation string) {
+		pass.Reportf(id.Pos(),
+			"%q was %s at line %d; %s afterwards races with the receiving goroutine — hand off a copy, or synchronize before reusing it",
+			id.Name, f.kind.how(), pass.Pkg.Fset.Position(escPos).Line, mutation)
+	}
+	checkWrite := func(lhs ast.Expr, rebind bool, rhs ast.Expr) {
+		id := rootIdent(lhs)
+		if id == nil || id.Name == "_" {
+			return
+		}
+		v := d.localVar(id)
+		if v == nil {
+			return
+		}
+		_, isIdent := ast.Unparen(lhs).(*ast.Ident)
+		for _, kind := range []escKind{escCapturedGo, escCapturedChan, escValueGo, escValueChan} {
+			f := escFact{v, kind}
+			pos, ok := s[f]
+			if !ok {
+				continue
+			}
+			switch {
+			case kind.captured():
+				report(id, f, pos, "writing it")
+				return
+			case !isIdent:
+				report(id, f, pos, "writing through it")
+				return
+			case rebind && rhs != nil && selfAppend(pass.Pkg, rhs, v):
+				report(id, f, pos, "appending to it in place")
+				return
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			var rhs ast.Expr
+			if len(n.Lhs) == len(n.Rhs) {
+				rhs = n.Rhs[i]
+			}
+			checkWrite(lhs, true, rhs)
+		}
+	case *ast.IncDecStmt:
+		checkWrite(n.X, false, nil)
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotOnly proves at compile time what TestServeLiveObservability
+// checks at runtime (DESIGN §10): code reachable from an obshttp
+// handler observes engine state only through snapshot/read-only obs
+// APIs and never mutates a metric, profile, or sink. Handlers run on
+// net/http's goroutines concurrently with the engine; a mutating call
+// on that path would both race and let a monitoring scrape perturb the
+// byte-identical sweep results the determinism gate pins.
+//
+// Seeds are the handler functions registered via HandleFunc/Handle in
+// packages whose import path contains "obshttp". From each seed the
+// analyzer walks the static call graph across the whole module
+// (Pass.All): calls to functions and methods with bodies in the module
+// are followed; method calls on obs-package types are checked against
+// the read-only allowlist and flagged when mutating. Unknown obs
+// methods are flagged too — the allowlist is the contract, so a new
+// read-only accessor must be added here deliberately.
+//
+// Soundness caveats (DESIGN §10): calls through function values and
+// interfaces are not devirtualized (the /debug/progress endpoint's
+// Options.Progress func field is invisible to this analyzer — the
+// runtime test still covers it), and out-of-module callees resolve to
+// placeholders and are skipped.
+var SnapshotOnly = &Analyzer{
+	Name: "snapshotonly",
+	Doc:  "code reachable from obshttp handlers calls only read-only obs APIs, never mutating ones",
+	Run:  runSnapshotOnly,
+}
+
+// obsReadOnly is the allowlist of obs-package methods a handler path
+// may call. Everything else on an obs type is treated as mutating.
+var obsReadOnly = map[string]bool{
+	"Snapshot": true, "Value": true, "Count": true, "Sum": true,
+	"Buckets": true, "Quantile": true, "Folded": true, "WriteFolded": true,
+	"Events": true, "Dropped": true, "Err": true, "Tracing": true,
+	"Scope": true, "Profile": true,
+}
+
+func runSnapshotOnly(pass *Pass) {
+	// Seeds live in obshttp packages; running only there keeps the
+	// module-wide walk single-shot and findings unduplicated.
+	if !strings.Contains(pass.Pkg.Path, "obshttp") || pass.Pkg.Info == nil {
+		return
+	}
+	idx := indexFuncDecls(pass.All)
+	type workItem struct {
+		pkg  *Package
+		body ast.Node
+	}
+	var queue []workItem
+	visited := map[ast.Node]bool{}
+	enqueue := func(pkg *Package, body ast.Node) {
+		if body == nil || visited[body] {
+			return
+		}
+		visited[body] = true
+		queue = append(queue, workItem{pkg, body})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "HandleFunc" && sel.Sel.Name != "Handle") || len(call.Args) != 2 {
+				return true
+			}
+			switch h := ast.Unparen(call.Args[1]).(type) {
+			case *ast.FuncLit:
+				enqueue(pass.Pkg, h.Body)
+			case *ast.Ident:
+				if fn, ok := objectOf(pass.Pkg, h).(*types.Func); ok {
+					if d, ok := idx[fn]; ok {
+						enqueue(d.pkg, d.decl.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		ast.Inspect(item.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *types.Func
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee, _ = objectOf(item.pkg, fun).(*types.Func)
+			case *ast.SelectorExpr:
+				callee, _ = objectOf(item.pkg, fun.Sel).(*types.Func)
+			}
+			if callee == nil {
+				return true // func value, interface, or placeholder: out of scope
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if ok && sig.Recv() != nil && isObsType(sig.Recv().Type()) {
+				if obsReadOnly[callee.Name()] {
+					return true // read-only accessor; no need to descend
+				}
+				pass.Reportf(call.Pos(),
+					"obs.%s mutates observability state but is reachable from an obshttp handler — handlers must stay snapshot-only (the static form of TestServeLiveObservability's contract)",
+					callee.Name())
+				return true
+			}
+			if d, ok := idx[callee]; ok {
+				enqueue(d.pkg, d.decl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// declSite locates one module function declaration.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// indexFuncDecls maps every module function object to its declaration,
+// so the call-graph walk can cross package boundaries.
+func indexFuncDecls(pkgs []*Package) map[*types.Func]declSite {
+	idx := map[*types.Func]declSite{}
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = declSite{pkg, fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// isObsType reports whether t (after one pointer layer) is a named
+// type declared in an obs package — path suffix "internal/obs", which
+// both the real module and the fixture mirror satisfy.
+func isObsType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

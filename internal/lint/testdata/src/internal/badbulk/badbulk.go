@@ -1,0 +1,93 @@
+// Package badbulk exercises the bulkcharge analyzer: per-word Machine
+// calls on unit-stride addresses inside +1 loops (flagged) next to the
+// strided, descending, bulk and non-Machine shapes it must leave
+// alone.
+package badbulk
+
+import "fixture.example/internal/hmm"
+
+// SumWords charges per word on a unit-stride address — ReadRange
+// territory.
+func SumWords(m *hmm.Machine, base, n int64) hmm.Word {
+	var total hmm.Word
+	for i := int64(0); i < n; i++ {
+		total += m.Read(base + i) // want bulkcharge
+	}
+	return total
+}
+
+// FillRange writes per word with an i += 1 post statement — same
+// stride, same finding.
+func FillRange(m *hmm.Machine, n int64, v hmm.Word) {
+	for i := int64(0); i < n; i += 1 {
+		m.Write(i, v) // want bulkcharge
+	}
+}
+
+// CopyOut reads per word from a range loop's key (ranges always
+// advance by one).
+func CopyOut(m *hmm.Machine, dst []hmm.Word) {
+	for i := range dst {
+		dst[i] = m.Read(int64(i)) // want bulkcharge
+	}
+}
+
+// Exchange swaps per word over two unit-stride addresses — SwapRange
+// territory.
+func Exchange(m *hmm.Machine, a, b, n int64) {
+	for i := int64(0); i < n; i++ {
+		m.SwapWords(a+i, b+i) // want bulkcharge
+	}
+}
+
+// SumStrided reads every other word; the stride-2 interval has no
+// contiguous bulk equivalent, so it must stay silent.
+func SumStrided(m *hmm.Machine, base, n int64) hmm.Word {
+	var total hmm.Word
+	for i := int64(0); i < n; i += 2 {
+		total += m.Read(base + i)
+	}
+	return total
+}
+
+// SumScaled advances by one but scales the address; coefficient 2 is a
+// stride, not an interval.
+func SumScaled(m *hmm.Machine, base, n int64) hmm.Word {
+	var total hmm.Word
+	for i := int64(0); i < n; i++ {
+		total += m.Read(base + i*2)
+	}
+	return total
+}
+
+// FillDescending writes downward; the analyzer only recognises +1
+// loops.
+func FillDescending(m *hmm.Machine, n int64, v hmm.Word) {
+	for i := n - 1; i >= 0; i-- {
+		m.Write(i, v)
+	}
+}
+
+// notMachine has the same method name on a different type.
+type notMachine struct{ vals []int64 }
+
+func (c *notMachine) Read(x int64) int64 { return c.vals[x] }
+
+// SumCache reads from a non-Machine type; the per-word discipline only
+// governs charged memory.
+func SumCache(c *notMachine, n int64) int64 {
+	var total int64
+	for i := int64(0); i < n; i++ {
+		total += c.Read(i)
+	}
+	return total
+}
+
+// BulkAlready uses the bulk API inside the loop; nothing per-word to
+// flag.
+func BulkAlready(m *hmm.Machine, rows int64, width int) {
+	buf := make([]hmm.Word, width)
+	for r := int64(0); r < rows; r++ {
+		m.ReadRange(r*int64(width), buf)
+	}
+}

@@ -1,0 +1,82 @@
+// Package badlock exercises the lockdiscipline analyzer: accesses to
+// `// guarded by mu` fields without the mutex held (flagged) next to
+// the locked, deferred-unlock and *Locked-helper shapes that satisfy
+// the discipline.
+package badlock
+
+import "sync"
+
+// Tracker mirrors the sweep.Progress shape: one mutex guarding the
+// mutable state behind it.
+type Tracker struct {
+	mu    sync.Mutex
+	count int      // guarded by mu
+	names []string // guarded by mu
+	label string   // deliberately unguarded
+}
+
+// Peek reads a guarded field with no lock anywhere in sight.
+func (t *Tracker) Peek() int {
+	return t.count // want lockdiscipline: unlocked read
+}
+
+// Record unlocks too early: the names write lands outside the
+// critical section.
+func (t *Tracker) Record(name string) {
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+	t.names = nil // want lockdiscipline: write after unlock
+	_ = name
+}
+
+// MaybeGuarded only locks on one branch; at the join the guard is not
+// held on every path, and must-hold analysis says so.
+func (t *Tracker) MaybeGuarded(fast bool) int {
+	if !fast {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	return t.count // want lockdiscipline: guard held on one branch only
+}
+
+// Drain calls a *Locked helper without holding the guard the helper's
+// name promises.
+func (t *Tracker) Drain() int {
+	return t.sumLocked() // want lockdiscipline: *Locked call without the lock
+}
+
+// Add is the compliant shape: lock, deferred unlock, guarded writes in
+// between.
+func (t *Tracker) Add(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count += n
+}
+
+// Reset locks and unlocks explicitly around the guarded writes.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	t.count = 0
+	t.names = nil
+	t.mu.Unlock()
+}
+
+// Total holds the lock across the *Locked helper call, satisfying both
+// the field accesses inside the helper and the call-site convention.
+func (t *Tracker) Total() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sumLocked()
+}
+
+// sumLocked reads guarded fields under the *Locked convention: the
+// caller holds t.mu.
+func (t *Tracker) sumLocked() int {
+	return t.count + len(t.names)
+}
+
+// Label reads the unguarded field; no annotation, no requirement.
+func (t *Tracker) Label() string {
+	return t.label
+}

@@ -1,0 +1,106 @@
+// Package badshare exercises the sharesafe analyzer: writes to values
+// that already escaped into a goroutine, channel send, or sent closure
+// (flagged) next to the rebind, join-barrier and value-copy shapes
+// that are safe.
+package badshare
+
+import "sync"
+
+// Job mirrors the sweep engine's job shape: an ID plus a params slice
+// whose backing array is what the worker goroutine reads.
+type Job struct {
+	ID     string
+	Params []float64
+}
+
+// results sinks worker output so the fixtures have a reader.
+var results = make(chan float64, 64)
+
+// RunPool is the seeded-bug scenario from the sweep worker pool: the
+// jobs slice is captured by the worker goroutine, and the dispatcher
+// then mutates a job's params in place — the exact post-escape write
+// the sharded-engine refactor must never contain.
+func RunPool(jobs []Job) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, j := range jobs {
+			results <- j.Params[0]
+		}
+	}()
+	jobs[0].Params[0] = 99 // want sharesafe: write after capture
+	wg.Wait()
+}
+
+// SendThenPatch sends a buffer over a channel and then writes an
+// element; the receiver shares the backing array.
+func SendThenPatch(ch chan []float64, buf []float64) {
+	ch <- buf
+	buf[0] = 1 // want sharesafe: write after send
+}
+
+// PostTask sends a closure that reads a local; rebinding that local
+// afterwards races with the closure's execution.
+func PostTask(tasks chan func() float64) {
+	scale := 2.0
+	tasks <- func() float64 { return scale }
+	scale = 3.0 // want sharesafe: write after closure escape
+}
+
+// GrowAfterHandoff appends in place to a slice a goroutine is reading;
+// append may write the escaped backing array before reallocating.
+func GrowAfterHandoff(view []float64) {
+	go consume(view)
+	view = append(view, 4) // want sharesafe: self-append after handoff
+	_ = view
+}
+
+func consume(v []float64) {
+	for _, x := range v {
+		results <- x
+	}
+}
+
+// RebindFresh sends a buffer but then rebinds the variable to a fresh
+// allocation before writing — the escaped array is never touched.
+func RebindFresh(ch chan []float64, buf []float64) {
+	ch <- buf
+	buf = make([]float64, 4)
+	buf[0] = 1
+}
+
+// JoinThenReuse writes only after the WaitGroup join barrier; the
+// goroutine is done, so the buffer is exclusively owned again.
+func JoinThenReuse(buf []float64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results <- buf[0]
+	}()
+	wg.Wait()
+	buf[0] = 7
+}
+
+// ScalarByValue hands an int to the goroutine by value; incrementing
+// the local afterwards touches nothing shared.
+func ScalarByValue(n int) {
+	go func(v int) {
+		results <- float64(v)
+	}(n)
+	n++
+	_ = n
+}
+
+// PrepareThenSpawn does all its writes before the escape; nothing
+// races.
+func PrepareThenSpawn(jobs []Job) {
+	jobs[0].Params = []float64{1, 2}
+	jobs[0].ID = "warm"
+	go func() {
+		for _, j := range jobs {
+			results <- j.Params[0]
+		}
+	}()
+}

@@ -1,0 +1,49 @@
+// Package hmm mirrors the real module's internal/hmm Machine surface
+// just closely enough for the bulkcharge analyzer's isTypeNamed
+// matching (path suffix "internal/hmm", type Machine): the per-word
+// charge methods and their bulk *Range counterparts.
+package hmm
+
+// Word is one memory cell.
+type Word int64
+
+// Machine is the fixture stand-in for the charged HMM memory.
+type Machine struct {
+	mem []Word
+}
+
+// Read returns the word at x.
+func (m *Machine) Read(x int64) Word { return m.mem[x] }
+
+// Write stores v at x.
+func (m *Machine) Write(x int64, v Word) { m.mem[x] = v }
+
+// SwapWords exchanges the words at x and y.
+func (m *Machine) SwapWords(x, y int64) {
+	m.mem[x], m.mem[y] = m.mem[y], m.mem[x]
+}
+
+// Poke stores v at x without charging.
+func (m *Machine) Poke(x int64, v Word) { m.mem[x] = v }
+
+// ReadRange reads len(dst) words starting at addr.
+func (m *Machine) ReadRange(addr int64, dst []Word) {
+	copy(dst, m.mem[addr:addr+int64(len(dst))])
+}
+
+// WriteRange stores src starting at addr.
+func (m *Machine) WriteRange(addr int64, src []Word) {
+	copy(m.mem[addr:addr+int64(len(src))], src)
+}
+
+// SwapRange exchanges the n-word ranges at a and b.
+func (m *Machine) SwapRange(a, b, n int64) {
+	for i := int64(0); i < n; i++ {
+		m.mem[a+i], m.mem[b+i] = m.mem[b+i], m.mem[a+i]
+	}
+}
+
+// PokeRange stores src starting at addr without charging.
+func (m *Machine) PokeRange(addr int64, src []Word) {
+	copy(m.mem[addr:addr+int64(len(src))], src)
+}

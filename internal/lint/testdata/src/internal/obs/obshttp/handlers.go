@@ -1,0 +1,62 @@
+// Package obshttp exercises the snapshotonly analyzer: handler
+// functions registered on a mux may observe obs state through
+// read-only APIs only. Mutating calls — direct, through a local
+// helper, or through a cross-package obs helper — are flagged;
+// non-handler code and func-value indirection are out of scope.
+package obshttp
+
+import "fixture.example/internal/obs"
+
+// mux mirrors the HandleFunc registration surface the analyzer seeds
+// from.
+type mux struct{}
+
+// HandleFunc registers h under pattern.
+func (m *mux) HandleFunc(pattern string, h func()) {}
+
+// reg is the registry the handlers observe.
+var reg *obs.Registry
+
+// out sinks rendered values so the read-only handlers have an effect.
+var out []int64
+
+// Register wires up the fixture endpoints.
+func Register(m *mux) {
+	m.HandleFunc("/bump", func() {
+		reg.Add(1) // want snapshotonly: direct mutation
+	})
+	m.HandleFunc("/stats", func() {
+		writeStats()
+	})
+	m.HandleFunc("/reset", resetHandler)
+	m.HandleFunc("/metrics", func() {
+		out = append(out, reg.Snapshot()...)
+	})
+	m.HandleFunc("/total", func() {
+		out = append(out, reg.Value())
+	})
+	m.HandleFunc("/render", func() {
+		render(reg.Snapshot())
+	})
+}
+
+// writeStats is a handler helper one hop down the call graph.
+func writeStats() {
+	reg.Reset() // want snapshotonly: mutation via local helper
+}
+
+// resetHandler reaches a mutating call through the obs package itself.
+func resetHandler() {
+	obs.Drain(reg) // the finding lands on Drain's Add call in obs
+}
+
+// render is a pure formatter; read-only paths stay silent.
+func render(samples []int64) {
+	out = append(out, samples...)
+}
+
+// compact is not registered as a handler, so its mutation is engine
+// code, not handler code.
+func compact() {
+	reg.Reset()
+}

@@ -241,7 +241,7 @@ func (h *Histogram) Buckets() []int64 {
 // which no-op on use.
 type Registry struct {
 	mu      sync.Mutex
-	metrics map[string]any
+	metrics map[string]any // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -84,6 +84,7 @@ func writePromHist(w io.Writer, name string, s obs.Sample, quantiles []float64) 
 	// lines come from the same estimator the sweep ETA uses.
 	var h obs.Histogram
 	for k, n := range s.Buckets {
+		//lint:ignore snapshotonly h is a scratch local rebuilt from the immutable snapshot, not shared state
 		h.AddAt(k, n)
 	}
 	if _, err := fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name); err != nil {

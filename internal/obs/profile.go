@@ -29,7 +29,7 @@ type Profile struct {
 	prefix string
 
 	mu     sync.Mutex
-	stacks map[string]float64
+	stacks map[string]float64 // guarded by mu (the root's; scopes hold no state)
 }
 
 // NewProfile returns an empty root profile.

@@ -64,10 +64,10 @@ func (f SinkFunc) Close() error { return nil }
 // RingSink keeps the last cap events in memory.
 type RingSink struct {
 	mu      sync.Mutex
-	buf     []Event
-	next    int
-	wrapped bool
-	dropped int64
+	buf     []Event // guarded by mu
+	next    int     // guarded by mu
+	wrapped bool    // guarded by mu
+	dropped int64   // guarded by mu
 }
 
 // NewRingSink returns a ring buffer holding the last cap events
@@ -133,8 +133,8 @@ func (s *RingSink) Close() error { return nil }
 // reported by Close (and Err).
 type JSONLSink struct {
 	mu  sync.Mutex
-	w   *bufio.Writer
-	err error
+	w   *bufio.Writer // guarded by mu
+	err error         // guarded by mu
 }
 
 // NewJSONLSink wraps w in a buffered JSONL writer. Close flushes; the

@@ -55,19 +55,21 @@ type ProgressSnapshot struct {
 // results.
 type Progress struct {
 	mu      sync.Mutex
-	begun   time.Time
-	jobs    []JobProgress
-	workers int
-	done    bool
+	begun   time.Time     // guarded by mu
+	jobs    []JobProgress // guarded by mu
+	workers int           // guarded by mu
+	done    bool          // guarded by mu
 
-	queued, running, completed, failed, skipped int
+	queued, running, completed, failed, skipped int // guarded by mu
 
 	// wall collects finished-job wall times for the ETA estimate,
 	// separate from any engine registry so Progress works standalone.
+	// guarded by mu
 	wall obs.Histogram
 
 	// o receives the live sweep.jobs.running/queued and sweep.eta_ms
 	// gauges (the engine's Options.Obs observer; may be nil).
+	// guarded by mu
 	o *obs.Observer
 }
 
@@ -75,8 +77,9 @@ type Progress struct {
 // Options.Progress.
 func NewProgress() *Progress { return &Progress{} }
 
-// now returns the tracker-relative wall offset in milliseconds.
-func (p *Progress) now() float64 {
+// nowLocked returns the tracker-relative wall offset in milliseconds;
+// callers hold p.mu (it reads p.begun).
+func (p *Progress) nowLocked() float64 {
 	return float64(time.Since(p.begun)) / float64(time.Millisecond)
 }
 
@@ -108,7 +111,7 @@ func (p *Progress) jobRunning(seq int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	j := &p.jobs[seq]
-	now := p.now()
+	now := p.nowLocked()
 	j.Status, j.StartMS, j.UpdatedMS = "running", now, now
 	p.queued--
 	p.running++
@@ -123,7 +126,7 @@ func (p *Progress) jobSkipped(seq int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	j := &p.jobs[seq]
-	j.Status, j.UpdatedMS = string(StatusSkipped), p.now()
+	j.Status, j.UpdatedMS = string(StatusSkipped), p.nowLocked()
 	p.queued--
 	p.skipped++
 	p.publishLocked()
@@ -139,7 +142,7 @@ func (p *Progress) jobFinished(seq int, status Status, wall time.Duration) {
 	j := &p.jobs[seq]
 	j.Status = string(status)
 	j.WallMS = float64(wall) / float64(time.Millisecond)
-	j.UpdatedMS = p.now()
+	j.UpdatedMS = p.nowLocked()
 	p.running--
 	if status == StatusFailed {
 		p.failed++
@@ -203,7 +206,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Jobs:      append([]JobProgress(nil), p.jobs...),
 	}
 	if !p.begun.IsZero() {
-		s.ElapsedMS = p.now()
+		s.ElapsedMS = p.nowLocked()
 	}
 	return s
 }

@@ -38,3 +38,24 @@ if off < 0:
     sys.exit(1)
 print(f"determinism gate OK: {len(body)} bytes match EXPERIMENTS.md at offset {off}")
 PYEOF
+
+# Dry-run finding counts: the full dbsplint suite over the module, folded
+# to a per-analyzer tally. The count must be zero — any finding here means
+# a change landed without fixing or //lint:ignore-justifying it.
+lintbin=$(mktemp) lintout=$(mktemp)
+trap 'rm -f "$bin" "$out" "$body" "$lintbin" "$lintout"' EXIT
+go build -o "$lintbin" ./cmd/dbsplint
+lint_status=0
+"$lintbin" -json ./... >"$lintout" || lint_status=$?
+python3 - "$lintout" "$lint_status" <<'PYEOF'
+import collections, json, sys
+
+findings = json.load(open(sys.argv[1]))
+counts = collections.Counter(f["analyzer"] for f in findings)
+for name, n in sorted(counts.items()):
+    print(f"lint findings: {name}: {n}")
+print(f"lint findings: total: {len(findings)}")
+if findings or sys.argv[2] != "0":
+    sys.stderr.write("lint gate FAILED: fix the findings above or justify each with //lint:ignore <analyzer> <reason>\n")
+    sys.exit(1)
+PYEOF

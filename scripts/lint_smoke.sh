@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Lint smoke: the full dbsplint suite — syntactic checks, the dbspvet
+# typed pass, and the dataflow analyzers (sharesafe, lockdiscipline,
+# snapshotonly, bulkcharge) — must run clean over the module, and fast.
+# The wall-clock budget (10s, build excluded) guards the dataflow layer:
+# CFG construction and fixpoint solving run per function, and a
+# superlinear regression there would make per-push linting unusable
+# long before it made it wrong.
+#
+# Usage: scripts/lint_smoke.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget_s=10
+bin=$(mktemp) out=$(mktemp)
+trap 'rm -f "$bin" "$out"' EXIT
+
+go build -o "$bin" ./cmd/dbsplint
+
+start=$(date +%s%N)
+if ! "$bin" ./... >"$out" 2>&1; then
+  cat "$out" >&2
+  echo "lint smoke FAILED: dbsplint reported findings (fix them or add //lint:ignore <analyzer> <reason>)" >&2
+  exit 1
+fi
+elapsed_ns=$(( $(date +%s%N) - start ))
+elapsed_ms=$(( elapsed_ns / 1000000 ))
+
+if [ -s "$out" ]; then
+  cat "$out" >&2
+  echo "lint smoke FAILED: clean exit but unexpected output" >&2
+  exit 1
+fi
+if [ "$elapsed_ms" -ge $(( budget_s * 1000 )) ]; then
+  echo "lint smoke FAILED: suite took ${elapsed_ms}ms, budget is ${budget_s}s" >&2
+  exit 1
+fi
+echo "lint smoke OK: full suite clean in ${elapsed_ms}ms (budget ${budget_s}s)"
