@@ -10,6 +10,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/algos"
@@ -255,6 +256,36 @@ func BenchmarkNativeEngine(b *testing.B) {
 		if _, err := dbsp.Run(prog, alphaHalf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunSharded measures the sharded engine against the native
+// one at matched v (not a paper experiment; included for harness
+// costing). Both run the same program, so ns/op is directly comparable
+// across the sub-benchmarks; the results themselves are bit-identical
+// by the five-way differential suite.
+func BenchmarkRunSharded(b *testing.B) {
+	const v = 1 << 14
+	prog := progtest.Rotate(v, progtest.Descending(v)...)
+	b.Run("engine=native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dbsp.Run(prog, alphaHalf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 8, 0} {
+		name := fmt.Sprintf("engine=sharded/shards=%d", shards)
+		if shards == 0 {
+			name = "engine=sharded/shards=default"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dbsp.RunSharded(prog, alphaHalf, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,12 +1,19 @@
-// Command dbsprun executes a named D-BSP program on the native
-// goroutine-parallel engine and prints the per-superstep cost breakdown
-// (label, τ, h, charged time), then optionally simulates it on the HMM
-// and BT hosts and reports the slowdowns.
+// Command dbsprun executes a named D-BSP program and prints the
+// per-superstep cost breakdown (label, τ, h, charged time), then
+// optionally simulates it on the HMM and BT hosts and reports the
+// slowdowns.
 //
 // Usage:
 //
-//	dbsprun -prog sort -v 256 -g x^0.5 [-sim] [-check] [-metrics] [-trace-out f.jsonl] [-profile p]
+//	dbsprun -prog sort -v 256 -g x^0.5 [-engine native|sharded] [-shards N]
+//	        [-sim] [-check] [-metrics] [-trace-out f.jsonl] [-profile p]
 //	        [-serve ADDR] [-serve-linger D] [-cost-profile F]
+//
+// Engines: "native" chunks handler execution over GOMAXPROCS worker
+// goroutines against one flat context arena; "sharded" multiplexes the
+// v processors over -shards per-shard arenas with a two-phase delivery
+// exchange, scaling to v = 2^20 and beyond. Both produce bit-identical
+// results — contexts, per-step costs, totals and error text.
 //
 // Programs: rotate, bcast, prefix, matmul, fft, fftrec, sort, permute,
 // conv, reduce, stencil.
@@ -110,6 +117,8 @@ func fatal(format string, args ...any) {
 func main() {
 	progName := flag.String("prog", "rotate", "program: rotate|bcast|prefix|matmul|fft|fftrec|sort|permute|conv|reduce|stencil")
 	v := flag.Int("v", 64, "processors (power of two; matmul needs a power of four)")
+	engine := flag.String("engine", "native", "execution engine: native|sharded")
+	shards := flag.Int("shards", 0, "shard count for -engine=sharded (0 = GOMAXPROCS, clamped to v)")
 	gSpec := flag.String("g", "x^0.5", "bandwidth/access function: log, x^A, const:C, linear:S")
 	sim := flag.Bool("sim", false, "also simulate on HMM and BT hosts with f = g")
 	verbose := flag.Bool("steps", false, "print every superstep (default: summary by label)")
@@ -129,6 +138,15 @@ func main() {
 	}
 	if *v < 1 || *v&(*v-1) != 0 {
 		usageErr("-v %d is not a power of two", *v)
+	}
+	if *engine != "native" && *engine != "sharded" {
+		usageErr("unknown -engine %q (want native or sharded)", *engine)
+	}
+	if *shards < 0 {
+		usageErr("-shards must be non-negative, got %d", *shards)
+	}
+	if *shards > 0 && *engine != "sharded" {
+		usageErr("-shards requires -engine=sharded")
 	}
 	g, err := cost.Parse(*gSpec)
 	if err != nil {
@@ -226,11 +244,20 @@ func main() {
 	var res *dbsp.Result
 	var tr *dbsp.Trace
 	var checker *invariant.Checker
+	sharded := *engine == "sharded"
 	switch {
+	case *check && sharded:
+		res, tr, checker, err = invariant.RunSharded(prog, g, *shards, o)
 	case *check:
 		res, tr, checker, err = invariant.Run(prog, g, o)
 	case *trace || o != nil:
-		res, tr, err = dbsp.RunObserved(prog, g, o)
+		if sharded {
+			res, tr, err = dbsp.RunShardedObserved(prog, g, *shards, o)
+		} else {
+			res, tr, err = dbsp.RunObserved(prog, g, o)
+		}
+	case sharded:
+		res, err = dbsp.RunSharded(prog, g, *shards)
 	default:
 		res, err = dbsp.Run(prog, g)
 	}

@@ -180,6 +180,45 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestShardedEngineOutputIdentical: the same program under
+// -engine=native and -engine=sharded (any shard count) must print
+// byte-identical stdout — the cost breakdown exposes every charged
+// number, so byte equality here is the CLI-level bit-identity check.
+func TestShardedEngineOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	native, code := runSelf(t, "-prog", "sort", "-v", "64", "-g", "x^0.5", "-steps")
+	if code != 0 {
+		t.Fatalf("native exit %d:\n%s", code, native)
+	}
+	for _, shards := range []string{"1", "3", "64", "200"} {
+		sharded, code := runSelf(t, "-prog", "sort", "-v", "64", "-g", "x^0.5", "-steps",
+			"-engine", "sharded", "-shards", shards)
+		if code != 0 {
+			t.Fatalf("sharded (shards=%s) exit %d:\n%s", shards, code, sharded)
+		}
+		if sharded != native {
+			t.Errorf("shards=%s: output differs from native\nnative:\n%s\nsharded:\n%s", shards, native, sharded)
+		}
+	}
+}
+
+// TestShardedCheckFlag: -check must compose with -engine=sharded — the
+// invariant checker rides the sharded engine's StepEvent stream.
+func TestShardedCheckFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out, code := runSelf(t, "-prog", "fft", "-v", "16", "-g", "log", "-check", "-engine", "sharded", "-shards", "3")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "invariant check:") || !strings.Contains(out, "clean") {
+		t.Errorf("no clean-check summary in output:\n%s", out)
+	}
+}
+
 // TestFlagValidationExitsTwo: every bad invocation must print the
 // usage text and exit 2 (not 1, not a panic).
 func TestFlagValidationExitsTwo(t *testing.T) {
@@ -196,6 +235,9 @@ func TestFlagValidationExitsTwo(t *testing.T) {
 		{"-serve", "noport"},
 		{"-serve", "127.0.0.1:0", "-serve-linger", "-1s"},
 		{"-serve-linger", "5s"}, // -serve-linger without -serve
+		{"-engine", "threaded"},
+		{"-shards", "-2", "-engine", "sharded"},
+		{"-shards", "4"}, // -shards without -engine=sharded
 		{"extra-arg"},
 	}
 	for _, args := range cases {

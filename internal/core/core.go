@@ -14,9 +14,10 @@
 //
 // Programs are written against internal/dbsp (supersteps, cluster
 // labels, message-passing contexts) and can be executed natively with
-// goroutine-parallel supersteps (dbsp.Run) or passed to any of the
-// simulators below; final processor contexts are bit-identical across
-// all four execution paths.
+// goroutine-parallel supersteps (dbsp.Run), on the sharded big-v
+// engine (dbsp.RunSharded), or passed to any of the simulators below;
+// final processor contexts are bit-identical across all five execution
+// paths.
 package core
 
 import (

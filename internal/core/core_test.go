@@ -11,10 +11,10 @@ import (
 )
 
 // The central integration property of the repository: for every
-// case-study algorithm, all four execution paths — the native
-// goroutine-parallel D-BSP engine, the HMM simulation, the BT
-// simulation and the D-BSP self-simulation — produce bit-identical
-// final processor contexts.
+// case-study algorithm, all five execution paths — the native
+// goroutine-parallel D-BSP engine, the sharded big-v engine, the HMM
+// simulation, the BT simulation and the D-BSP self-simulation —
+// produce bit-identical final processor contexts.
 func TestAllPathsAgree(t *testing.T) {
 	mat := workload.Matrix(1, 4, 8)
 	matB := workload.Matrix(2, 4, 8)
@@ -37,6 +37,10 @@ func TestAllPathsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s native: %v", prog.Name, err)
 		}
+		sh, err := dbsp.RunSharded(prog, f, 3)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", prog.Name, err)
+		}
 		h, err := OnHMM(prog, f)
 		if err != nil {
 			t.Fatalf("%s hmm: %v", prog.Name, err)
@@ -50,6 +54,9 @@ func TestAllPathsAgree(t *testing.T) {
 			t.Fatalf("%s selfsim: %v", prog.Name, err)
 		}
 		for p := range native.Contexts {
+			if !reflect.DeepEqual(native.Contexts[p], sh.Contexts[p]) {
+				t.Fatalf("%s: sharded engine diverged at proc %d", prog.Name, p)
+			}
 			if !reflect.DeepEqual(native.Contexts[p], h.Contexts[p]) {
 				t.Fatalf("%s: HMM simulation diverged at proc %d", prog.Name, p)
 			}

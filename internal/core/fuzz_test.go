@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -9,11 +10,38 @@ import (
 	"repro/internal/progtest"
 )
 
-// The randomized four-path equivalence sweep: pseudo-random programs
+// requireShardedAgrees asserts the sharded engine reproduced the native
+// run bit for bit: contexts word by word, per-step labels, τ and
+// h-relations, and every charged float64 compared by Float64bits.
+func requireShardedAgrees(t *testing.T, name string, shards int, native, sharded *dbsp.Result) {
+	t.Helper()
+	if len(native.Steps) != len(sharded.Steps) {
+		t.Fatalf("%s shards=%d: step counts %d vs %d", name, shards, len(native.Steps), len(sharded.Steps))
+	}
+	for i := range native.Steps {
+		n, s := native.Steps[i], sharded.Steps[i]
+		if n.Label != s.Label || n.Tau != s.Tau || n.H != s.H ||
+			math.Float64bits(n.Cost) != math.Float64bits(s.Cost) {
+			t.Fatalf("%s shards=%d step %d: native %+v, sharded %+v", name, shards, i, n, s)
+		}
+	}
+	if math.Float64bits(native.Cost) != math.Float64bits(sharded.Cost) || native.MaxTau != sharded.MaxTau {
+		t.Fatalf("%s shards=%d: total cost/MaxTau diverged: native (%x, %d), sharded (%x, %d)",
+			name, shards, math.Float64bits(native.Cost), native.MaxTau,
+			math.Float64bits(sharded.Cost), sharded.MaxTau)
+	}
+	for p := range native.Contexts {
+		if !reflect.DeepEqual(native.Contexts[p], sharded.Contexts[p]) {
+			t.Fatalf("%s shards=%d: sharded engine diverged at proc %d", name, shards, p)
+		}
+	}
+}
+
+// The randomized five-path equivalence sweep: pseudo-random programs
 // with arbitrary label structures and bounded-fan-in random
 // communication must produce bit-identical final contexts on the native
-// engine and on all three simulators, across machine sizes, step counts
-// and access functions.
+// engine, the sharded engine and all three simulators, across machine
+// sizes, step counts, shard counts and access functions.
 func TestRandomProgramEquivalence(t *testing.T) {
 	funcs := []cost.Func{cost.Poly{Alpha: 0.5}, cost.Log{}}
 	var cases int
@@ -29,6 +57,13 @@ func TestRandomProgramEquivalence(t *testing.T) {
 				}
 				f := funcs[cases%len(funcs)]
 				cases++
+
+				shards := []int{1, 3, v, v + 7, 0}[cases%5]
+				sh, err := dbsp.RunSharded(prog, cost.Const{C: 1}, shards)
+				if err != nil {
+					t.Fatalf("%s sharded(shards=%d): %v", prog.Name, shards, err)
+				}
+				requireShardedAgrees(t, prog.Name, shards, native, sh)
 
 				h, err := OnHMM(prog, f)
 				if err != nil {
@@ -62,20 +97,24 @@ func TestRandomProgramEquivalence(t *testing.T) {
 	}
 }
 
-// FuzzEnginesAgree is the differential fuzz target across all four
+// FuzzEnginesAgree is the differential fuzz target across all five
 // execution paths: the fuzzer's bytes pick a machine size, step count,
-// message bound, generator seed, access function and self-simulation
-// target size; the derived random program must then produce
-// bit-identical final contexts on the native engine and on every
-// simulator. Any divergence — in memory contents or in which path
-// rejects the program — is a bug in a simulator's delivery or layout
-// translation.
+// message bound, generator seed, access function, self-simulation
+// target size and shard count; the derived random program must then
+// produce bit-identical final contexts on the native engine, the
+// sharded engine and every simulator — and the sharded engine must
+// additionally match the native per-step costs and h-relations bit for
+// bit (the simulators charge their own simulation costs, so only their
+// contexts are compared). shardsRaw exercises shards=1, shards>v and
+// the GOMAXPROCS default (0). Any divergence — in memory contents, in
+// a charged float64, or in which path rejects the program — is a bug
+// in an engine's delivery, accumulation or layout translation.
 func FuzzEnginesAgree(f *testing.F) {
-	f.Add(uint8(2), uint8(3), uint8(1), uint64(1), uint8(0), uint8(1))
-	f.Add(uint8(5), uint8(9), uint8(2), uint64(42), uint8(1), uint8(5))
-	f.Add(uint8(0), uint8(0), uint8(3), uint64(7), uint8(2), uint8(0))
-	f.Add(uint8(4), uint8(6), uint8(1), uint64(1<<40), uint8(1), uint8(2))
-	f.Fuzz(func(t *testing.T, vRaw, stepsRaw, msgsRaw uint8, seed uint64, fRaw, vpRaw uint8) {
+	f.Add(uint8(2), uint8(3), uint8(1), uint64(1), uint8(0), uint8(1), uint8(1))
+	f.Add(uint8(5), uint8(9), uint8(2), uint64(42), uint8(1), uint8(5), uint8(7))
+	f.Add(uint8(0), uint8(0), uint8(3), uint64(7), uint8(2), uint8(0), uint8(0))
+	f.Add(uint8(4), uint8(6), uint8(1), uint64(1<<40), uint8(1), uint8(2), uint8(39))
+	f.Fuzz(func(t *testing.T, vRaw, stepsRaw, msgsRaw uint8, seed uint64, fRaw, vpRaw, shardsRaw uint8) {
 		v := 1 << (vRaw % 6) // 1..32 processors
 		steps := int(stepsRaw % 10)
 		maxMsgs := 1 + int(msgsRaw%3)
@@ -87,6 +126,12 @@ func FuzzEnginesAgree(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%s native: %v", prog.Name, err)
 		}
+		shards := int(shardsRaw % 40) // 0 = engine default; covers 1 and shards > v
+		sh, err := dbsp.RunSharded(prog, af, shards)
+		if err != nil {
+			t.Fatalf("%s sharded(shards=%d): %v", prog.Name, shards, err)
+		}
+		requireShardedAgrees(t, prog.Name, shards, native, sh)
 		h, err := OnHMM(prog, af)
 		if err != nil {
 			t.Fatalf("%s hmm(%s): %v", prog.Name, af.Name(), err)

@@ -33,6 +33,22 @@ type StepEvent struct {
 // (internal/invariant) builds on this. A nil inspect behaves exactly
 // like RunObserved.
 func RunInspected(prog *Program, g cost.Func, o *obs.Observer, inspect func(StepEvent)) (*Result, *Trace, error) {
+	return runInspectedLoop(prog, runLoop, g, o, inspect)
+}
+
+// loopFunc is the signature shared by runLoop and the sharded loop
+// closures: one full engine run with pre/post superstep hooks.
+type loopFunc func(prog *Program, g cost.Func,
+	pre func(step, label int, msgs []MessageTrace),
+	post func(step int, st Superstep, ctxs [][]Word)) (*Result, error)
+
+// runInspectedLoop builds the trace/inspect plumbing over any engine
+// loop: the pre hook records the trace, the post hook (when an
+// inspector is set) assembles StepEvents, and a finished run publishes
+// its accounting to the observer. Both RunInspected (native) and
+// RunShardedInspected route through here, so the two engines expose one
+// observation surface.
+func runInspectedLoop(prog *Program, loop loopFunc, g cost.Func, o *obs.Observer, inspect func(StepEvent)) (*Result, *Trace, error) {
 	tr := &Trace{V: prog.V}
 	var sent []MessageTrace
 	pre := func(step, label int, msgs []MessageTrace) {
@@ -47,7 +63,7 @@ func RunInspected(prog *Program, g cost.Func, o *obs.Observer, inspect func(Step
 			sent = nil
 		}
 	}
-	res, err := runLoop(prog, g, pre, post)
+	res, err := loop(prog, g, pre, post)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -55,25 +55,23 @@ func (r *Result) CommCost() float64 {
 }
 
 // NewContexts allocates and initialises the contexts of prog: v blocks
-// of µ zeroed words with Init applied to each data region. Both the
-// native engine and the sequential simulators start from this state.
+// of µ zeroed words with Init applied to each data region, all carved
+// from one flat backing slice. Both the native engine and the
+// sequential simulators start from this state; the sharded engine uses
+// the per-shard variant NewContextsSharded over the same chunked
+// allocator, so initial states coincide word for word.
 func NewContexts(prog *Program) [][]Word {
-	mu := prog.Mu()
-	ctxs := make([][]Word, prog.V)
-	backing := make([]Word, prog.V*mu)
-	for p := range ctxs {
-		ctxs[p] = backing[p*mu : (p+1)*mu : (p+1)*mu]
-		if prog.Init != nil {
-			prog.Init(p, ctxs[p][:prog.Layout.Data])
-		}
-	}
-	return ctxs
+	return newContextsChunked(prog, prog.V)
 }
 
-// Run executes prog natively on a D-BSP(v, µ, g) machine: one goroutine
-// per processor within each superstep, a barrier between supersteps,
-// and message delivery at the superstep boundary. It returns the final
-// contexts and the exact model cost.
+// Run executes prog natively on a D-BSP(v, µ, g) machine. Execution
+// model: within each superstep the v processor handlers are chunked
+// over GOMAXPROCS worker goroutines (contiguous ranges of processor
+// ids, not one goroutine per processor), a barrier joins the workers,
+// and message delivery happens sequentially at the superstep boundary.
+// It returns the final contexts and the exact model cost. For large v,
+// RunSharded runs the same semantics over per-shard arenas with a
+// parallel two-phase delivery exchange.
 func Run(prog *Program, g cost.Func) (*Result, error) {
 	return runHooked(prog, g, nil)
 }

@@ -1,0 +1,368 @@
+package dbsp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+)
+
+// The sharded engine executes the same D-BSP semantics as Run while
+// scaling to very large v (2^20 processors and beyond): processors are
+// lightweight contexts multiplexed over a small number of shards, each
+// shard owning a contiguous range of processor ids backed by its own
+// arena. Per superstep the engine runs two barriers — handlers, then a
+// two-phase shard-to-shard message exchange — and accumulates τ and
+// errors shard-locally instead of in per-processor slices.
+//
+// Bit-identity with the native engine is by construction, not by
+// tolerance: τ is a max over per-processor int64 ops (order
+// independent), h is a max over per-processor int sent/received counts
+// (order independent), errors reduce to the lowest processor id
+// (shards own ascending contiguous ranges, so the ascending-shard
+// reduction finds the same processor the native ascending-p scan
+// does), and the only floating-point arithmetic — the cost fold
+// sc.Cost = float64(Tau) + float64(H)·g(µ·v/2^i) accumulated in step
+// order — lives in engineLoop, shared verbatim by both engines.
+// Engines that agree on every integer therefore agree on every charged
+// float64, bit for bit. The five-way differential fuzz test in
+// internal/core enforces this.
+
+// ShardCount resolves a requested shard count for a v-processor run:
+// values <= 0 select GOMAXPROCS (the default), and the result is
+// clamped to [1, v] so shards > v degrades to one processor per shard
+// rather than empty shards.
+func ShardCount(shards, v int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > v {
+		shards = v
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// newContextsChunked allocates the v contexts of prog in arenas of at
+// most chunk contexts each and applies Init in ascending processor
+// order — the exact initial state NewContexts produces, carved from
+// per-chunk backing slices instead of one flat v·µ slab. At v = 2^20 a
+// single slab is a multi-hundred-megabyte allocation the Go heap must
+// find contiguously; per-shard arenas keep each allocation proportional
+// to v/shards.
+func newContextsChunked(prog *Program, chunk int) [][]Word {
+	mu := prog.Mu()
+	v := prog.V
+	ctxs := make([][]Word, v)
+	for lo := 0; lo < v; lo += chunk {
+		hi := min(lo+chunk, v)
+		arena := make([]Word, (hi-lo)*mu)
+		for p := lo; p < hi; p++ {
+			off := (p - lo) * mu
+			ctxs[p] = arena[off : off+mu : off+mu]
+			if prog.Init != nil {
+				prog.Init(p, ctxs[p][:prog.Layout.Data])
+			}
+		}
+	}
+	return ctxs
+}
+
+// NewContextsSharded allocates and initialises the contexts of prog in
+// per-shard arenas: shard s owns the contiguous processor range
+// [s·chunk, (s+1)·chunk) and its contexts share one backing slice.
+// Word-for-word the same initial state as NewContexts.
+func NewContextsSharded(prog *Program, shards int) [][]Word {
+	shards = ShardCount(shards, prog.V)
+	chunk := (prog.V + shards - 1) / shards
+	return newContextsChunked(prog, chunk)
+}
+
+// overflow records the first (lowest sender, lowest send index) inbox
+// overflow a destination shard observed during delivery.
+type overflow struct {
+	ok             bool
+	src, idx, dest int
+}
+
+// shardEngine is the per-run state of a sharded execution: the context
+// arenas plus shard-local accumulators reused across supersteps. Shard
+// s owns processors [s·chunk, min((s+1)·chunk, v)).
+type shardEngine struct {
+	prog   *Program
+	ctxs   [][]Word
+	chunk  int // processors per shard (last shard may be short)
+	shards int // effective shard count: ceil(V/chunk)
+
+	// Handler-phase accumulators, one entry per shard: the shard's τ
+	// (max ops over its processors), its first handler error and the
+	// processor that raised it. These replace the native engine's
+	// per-processor ops/errs slices — O(shards), not O(v), reduced
+	// after the barrier.
+	taus     []int64
+	errs     []error
+	errProcs []int
+
+	// Exchange-phase accumulators, one entry per shard.
+	sentMax []int // max messages sent by one of the shard's processors
+	recvMax []int // max messages received by one of the shard's processors
+	ovf     []overflow
+
+	// out[s][d] is shard s's outgoing bucket for destination shard d:
+	// flat (src, idx, dest, payload) records in ascending (src, idx)
+	// order, reused across supersteps via [:0]. idx is the message's
+	// send index within its sender's outbox — with src it ranks
+	// messages in the native engine's global delivery-scan order, which
+	// is what makes cross-shard overflow reporting exact.
+	out [][][]Word
+}
+
+func newShardEngine(prog *Program, shards int) *shardEngine {
+	shards = ShardCount(shards, prog.V)
+	chunk := (prog.V + shards - 1) / shards
+	shards = (prog.V + chunk - 1) / chunk // drop shards the rounding left empty
+	e := &shardEngine{
+		prog:     prog,
+		ctxs:     newContextsChunked(prog, chunk),
+		chunk:    chunk,
+		shards:   shards,
+		taus:     make([]int64, shards),
+		errs:     make([]error, shards),
+		errProcs: make([]int, shards),
+		sentMax:  make([]int, shards),
+		recvMax:  make([]int, shards),
+		ovf:      make([]overflow, shards),
+		out:      make([][][]Word, shards),
+	}
+	for s := range e.out {
+		e.out[s] = make([][]Word, shards)
+	}
+	return e
+}
+
+// span returns shard s's processor range [lo, hi).
+func (e *shardEngine) span(s int) (lo, hi int) {
+	lo = s * e.chunk
+	hi = min(lo+e.chunk, e.prog.V)
+	return lo, hi
+}
+
+// parallel runs fn once per shard and barriers. One shard runs inline
+// — the sharded engine at shards=1 is a sequential loop with zero
+// goroutine overhead.
+func (e *shardEngine) parallel(fn func(s int)) {
+	if e.shards == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < e.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// runStep executes one superstep: handlers in parallel over shards,
+// the optional Transpose verification and pre-delivery observer, then
+// the two-phase exchange. The stepFunc of the sharded engine.
+func (e *shardEngine) runStep(st Superstep, collect func(), verify bool) (StepCost, error) {
+	sc := StepCost{Label: st.Label}
+	if st.Run == nil {
+		return sc, nil // dummy superstep: no computation, no messages
+	}
+
+	// Phase 1: handlers. Each shard walks its processors in ascending
+	// order, folding ops into a shard-local max and keeping only the
+	// first error — the hot loop touches no shared slice.
+	e.parallel(func(s int) {
+		lo, hi := e.span(s)
+		var tau int64
+		e.errs[s] = nil
+		for p := lo; p < hi; p++ {
+			var ops int64
+			var err error
+			runProc(e.prog, e.ctxs, st, p, &ops, &err)
+			if err != nil {
+				e.errs[s], e.errProcs[s] = err, p
+				return
+			}
+			tau = max(tau, ops)
+		}
+		e.taus[s] = tau
+	})
+	for s := 0; s < e.shards; s++ {
+		if err := e.errs[s]; err != nil {
+			// Ascending shards own ascending processor ranges, so the
+			// first erroring shard holds the lowest erroring processor
+			// — the same one the native engine's ascending-p scan
+			// reports.
+			return sc, fmt.Errorf("processor %d: %w", e.errProcs[s], err)
+		}
+		sc.Tau = max(sc.Tau, e.taus[s])
+	}
+
+	if verify && st.Transpose != nil {
+		if err := verifyTranspose(e.prog, e.ctxs, st); err != nil {
+			return sc, err
+		}
+	}
+	if collect != nil {
+		collect()
+	}
+
+	h, err := e.exchange()
+	if err != nil {
+		return sc, err
+	}
+	sc.H = h
+	return sc, nil
+}
+
+// exchange is the two-phase shard-to-shard delivery. Phase A: every
+// shard clears its own inbox counts, drains its own outboxes into
+// per-destination-shard buckets and clears the outbox counts. Phase B:
+// every shard appends its incoming buckets — ascending source shard,
+// which restores the native engine's global ascending-(sender, send
+// index) delivery order restricted to this shard — into its own
+// inboxes. Each phase writes only shard-owned state, so both
+// parallelise freely; the barrier between them is the only
+// synchronisation. h and the overflow report reduce afterwards to
+// exactly the native Deliver results (see the bit-identity argument at
+// the top of the file).
+func (e *shardEngine) exchange() (h int, err error) {
+	e.parallel(e.collectShard)
+	e.parallel(e.deliverShard)
+	for s := 0; s < e.shards; s++ {
+		h = max(h, e.sentMax[s], e.recvMax[s])
+	}
+	first := overflow{}
+	for s := 0; s < e.shards; s++ {
+		o := e.ovf[s]
+		if !o.ok {
+			continue
+		}
+		if !first.ok || o.src < first.src || (o.src == first.src && o.idx < first.idx) {
+			first = o
+		}
+	}
+	if first.ok {
+		// Whether a message overflows depends only on how many earlier
+		// messages (in the global scan order) target the same
+		// processor — never on messages to other processors — so the
+		// minimal-(src, idx) overflow across shards is precisely the
+		// one the native sequential scan hits first.
+		return 0, fmt.Errorf("inbox overflow at processor %d (MaxMsgs=%d)", first.dest, e.prog.Layout.MaxMsgs)
+	}
+	return h, nil
+}
+
+// collectShard is exchange phase A for shard s: reset the shard's
+// inbox counts (inboxes are written only in phase B, after the
+// barrier), bucket its outgoing messages by destination shard and
+// clear its outbox counts.
+func (e *shardEngine) collectShard(s int) {
+	l := e.prog.Layout
+	lo, hi := e.span(s)
+	buckets := e.out[s]
+	for d := range buckets {
+		buckets[d] = buckets[d][:0]
+	}
+	maxSent := 0
+	for p := lo; p < hi; p++ {
+		ctx := e.ctxs[p]
+		ctx[l.InCountOff()] = 0
+		sent := int(ctx[l.OutCountOff()])
+		maxSent = max(maxSent, sent)
+		for k := 0; k < sent; k++ {
+			dest := int(ctx[l.OutboxOff(k)])
+			payload := ctx[l.OutboxOff(k)+1]
+			d := dest / e.chunk
+			buckets[d] = append(buckets[d], Word(p), Word(k), Word(dest), payload)
+		}
+		ctx[l.OutCountOff()] = 0
+	}
+	e.sentMax[s] = maxSent
+}
+
+// deliverShard is exchange phase B for shard d: append every incoming
+// bucket into the shard's inboxes. Source shards are walked in
+// ascending order and each bucket is already in ascending (src, idx)
+// order, so the concatenated stream is sorted by (src, idx) — the
+// native delivery order restricted to this shard's processors. On the
+// first overflow the shard records the offender and stops; the
+// cross-shard reduction in exchange picks the global first.
+func (e *shardEngine) deliverShard(d int) {
+	l := e.prog.Layout
+	e.ovf[d] = overflow{}
+	for s := 0; s < e.shards; s++ {
+		rec := e.out[s][d]
+		for i := 0; i < len(rec); i += 4 {
+			dest := int(rec[i+2])
+			dctx := e.ctxs[dest]
+			n := int(dctx[l.InCountOff()])
+			if n >= l.MaxMsgs {
+				e.ovf[d] = overflow{ok: true, src: int(rec[i]), idx: int(rec[i+1]), dest: dest}
+				e.recvMax[d] = 0
+				return
+			}
+			dctx[l.InboxOff(n)] = rec[i]
+			dctx[l.InboxOff(n)+1] = rec[i+3]
+			dctx[l.InCountOff()] = Word(n + 1)
+		}
+	}
+	maxRecv := 0
+	lo, hi := e.span(d)
+	for p := lo; p < hi; p++ {
+		maxRecv = max(maxRecv, int(e.ctxs[p][l.InCountOff()]))
+	}
+	e.recvMax[d] = maxRecv
+}
+
+// RunSharded executes prog on the sharded engine with the given shard
+// count (<= 0 selects GOMAXPROCS; counts above v clamp to v). The
+// result — final contexts, per-step costs, total cost, error text — is
+// bit-identical to Run's; only the execution strategy differs. See the
+// package-level engine comparison on Run.
+func RunSharded(prog *Program, g cost.Func, shards int) (*Result, error) {
+	return runShardedLoop(prog, g, shards, nil, nil)
+}
+
+// runShardedLoop is the sharded engine's loop, sharing engineLoop (and
+// therefore the entire cost fold and hook surface) with the native
+// engine.
+func runShardedLoop(prog *Program, g cost.Func, shards int,
+	pre func(step, label int, msgs []MessageTrace),
+	post func(step int, st Superstep, ctxs [][]Word)) (*Result, error) {
+	return engineLoop(prog, g, func() ([][]Word, stepFunc) {
+		e := newShardEngine(prog, shards)
+		return e.ctxs, e.runStep
+	}, pre, post)
+}
+
+// RunShardedObserved is RunObserved on the sharded engine: it records
+// the full message trace and, when o is non-nil, publishes the run's
+// accounting. Note the trace snapshot is O(messages) per superstep —
+// at very large v prefer RunSharded unless the trace is needed.
+func RunShardedObserved(prog *Program, g cost.Func, shards int, o *obs.Observer) (*Result, *Trace, error) {
+	return RunShardedInspected(prog, g, shards, o, nil)
+}
+
+// RunShardedInspected is RunInspected on the sharded engine: the same
+// StepEvent stream, observer accounting and disabled engine-side
+// Transpose verification, produced by the sharded execution strategy.
+func RunShardedInspected(prog *Program, g cost.Func, shards int, o *obs.Observer, inspect func(StepEvent)) (*Result, *Trace, error) {
+	loop := func(prog *Program, g cost.Func,
+		pre func(step, label int, msgs []MessageTrace),
+		post func(step int, st Superstep, ctxs [][]Word)) (*Result, error) {
+		return runShardedLoop(prog, g, shards, pre, post)
+	}
+	return runInspectedLoop(prog, loop, g, o, inspect)
+}

@@ -176,13 +176,40 @@ func runHooked(prog *Program, g cost.Func, hook func(step, label int, msgs []Mes
 	return runLoop(prog, g, hook, nil)
 }
 
-// runLoop is the shared engine loop: pre receives every executed
-// superstep's outbox snapshot before delivery, post receives the
-// contexts right after delivery (inboxes still hold the delivered
-// messages). The engine-side Transpose verification is skipped when
-// post is set — an inspector that wants to observe a corrupted route
-// end-to-end validates declarations itself.
+// stepFunc executes one superstep of a run over the engine's contexts:
+// handlers, the engine-side Transpose verification (when verify is
+// set), the pre-delivery collect hook, then message delivery. Both the
+// native and the sharded engine expose their per-superstep work through
+// this signature so one loop — and one hook/inspect surface — drives
+// them all.
+type stepFunc func(st Superstep, collect func(), verify bool) (StepCost, error)
+
+// runLoop is the native engine's loop: GOMAXPROCS-chunked handler
+// execution (runStepHooked) over one flat context arena.
 func runLoop(prog *Program, g cost.Func,
+	pre func(step, label int, msgs []MessageTrace),
+	post func(step int, st Superstep, ctxs [][]Word)) (*Result, error) {
+	return engineLoop(prog, g, func() ([][]Word, stepFunc) {
+		ctxs := NewContexts(prog)
+		buf := newStepBuffers(prog.V)
+		return ctxs, func(st Superstep, collect func(), verify bool) (StepCost, error) {
+			return runStepHooked(prog, ctxs, st, collect, verify, buf)
+		}
+	}, pre, post)
+}
+
+// engineLoop is the loop shared by every execution engine: pre receives
+// each executed superstep's outbox snapshot before delivery, post
+// receives the contexts right after delivery (inboxes still hold the
+// delivered messages). The engine-side Transpose verification is
+// skipped when post is set — an inspector that wants to observe a
+// corrupted route end-to-end validates declarations itself. newEngine
+// builds the engine state (contexts plus step runner) only after the
+// program validates, so Init never runs for a rejected program. The
+// cost fold is engine-independent: each step's Tau and H produce
+// sc.Cost in step order, so engines that agree on the integers agree on
+// every charged float64 bit for bit.
+func engineLoop(prog *Program, g cost.Func, newEngine func() ([][]Word, stepFunc),
 	pre func(step, label int, msgs []MessageTrace),
 	post func(step int, st Superstep, ctxs [][]Word)) (*Result, error) {
 	if err := prog.Validate(); err != nil {
@@ -191,9 +218,8 @@ func runLoop(prog *Program, g cost.Func,
 	if g == nil {
 		return nil, fmt.Errorf("dbsp: nil bandwidth function")
 	}
-	ctxs := NewContexts(prog)
+	ctxs, runStep := newEngine()
 	res := &Result{Contexts: ctxs}
-	buf := newStepBuffers(prog.V)
 	for s, st := range prog.Steps {
 		var collect func()
 		if pre != nil && st.Run != nil {
@@ -202,7 +228,7 @@ func runLoop(prog *Program, g cost.Func,
 				pre(step, label, collectOutboxes(prog.Layout, ctxs))
 			}
 		}
-		sc, err := runStepHooked(prog, ctxs, st, collect, post == nil, buf)
+		sc, err := runStep(st, collect, post == nil)
 		if err != nil {
 			return nil, fmt.Errorf("dbsp: program %q superstep %d: %w", prog.Name, s, err)
 		}

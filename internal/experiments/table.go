@@ -18,7 +18,7 @@ import (
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier (E01..E19).
+	// ID is the experiment identifier (E01..E20).
 	ID string
 	// Title summarises the experiment.
 	Title string
@@ -105,6 +105,7 @@ func Specs() []Spec {
 		{"E17", E17RouteDelivery},
 		{"E18", E18DirectDelivery},
 		{"E19", E19LabelSlack},
+		{"E20", E20BigV},
 	}
 }
 

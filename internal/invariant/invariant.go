@@ -206,3 +206,12 @@ func Run(prog *dbsp.Program, g cost.Func, o *obs.Observer) (*dbsp.Result, *dbsp.
 	res, tr, err := dbsp.RunInspected(prog, g, o, c.Inspect)
 	return res, tr, c, err
 }
+
+// RunSharded is Run on the sharded engine (dbsp.RunSharded): the same
+// checker attached to the same StepEvent stream, produced by the
+// sharded execution strategy. shards <= 0 selects the engine default.
+func RunSharded(prog *dbsp.Program, g cost.Func, shards int, o *obs.Observer) (*dbsp.Result, *dbsp.Trace, *Checker, error) {
+	c := NewChecker(prog.V, o)
+	res, tr, err := dbsp.RunShardedInspected(prog, g, shards, o, c.Inspect)
+	return res, tr, c, err
+}
