@@ -116,7 +116,7 @@ func main() {
 	analyzers := selectAnalyzers(lint.Analyzers(), *only, *skip)
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %-10s %s\n", a.Name, a.Layer, a.Doc)
 		}
 		return
 	}

@@ -73,7 +73,7 @@ func TestFixtureTreeFails(t *testing.T) {
 		t.Fatalf("exit %d, want 1:\n%s", code, out)
 	}
 	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge",
-		"sharesafe", "lockdiscipline", "snapshotonly", "bulkcharge"} {
+		"sharesafe", "lockdiscipline", "snapshotonly", "bulkcharge", "detflow", "floatfold"} {
 		if !strings.Contains(out, ": "+analyzer+": ") {
 			t.Errorf("no %s finding in output:\n%s", analyzer, out)
 		}
@@ -97,7 +97,7 @@ func TestNoArgsExitsTwo(t *testing.T) {
 	}
 }
 
-// TestListFlag: -list names every analyzer.
+// TestListFlag: -list names every analyzer with its framework layer.
 func TestListFlag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and execs the binary")
@@ -107,9 +107,29 @@ func TestListFlag(t *testing.T) {
 		t.Fatalf("exit %d:\n%s", code, out)
 	}
 	for _, analyzer := range []string{"nilguard", "panicmsg", "exitdiscipline", "stepshape", "stepconfine", "detseed", "costcharge",
-		"sharesafe", "lockdiscipline", "snapshotonly", "bulkcharge"} {
+		"sharesafe", "lockdiscipline", "snapshotonly", "bulkcharge", "detflow", "floatfold"} {
 		if !strings.Contains(out, analyzer) {
 			t.Errorf("-list missing %s:\n%s", analyzer, out)
+		}
+	}
+	// Every line is "name layer doc": the layer column must name one of
+	// the four framework layers.
+	layers := map[string]bool{"parse": true, "typed": true, "dataflow": true, "interproc": true}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Errorf("-list line %q: want at least name, layer, doc", line)
+			continue
+		}
+		if !layers[fields[1]] {
+			t.Errorf("-list line %q: second column %q is not a framework layer", line, fields[1])
+		}
+		seen[fields[1]] = true
+	}
+	for l := range layers {
+		if !seen[l] {
+			t.Errorf("-list shows no %s-layer analyzer", l)
 		}
 	}
 }

@@ -1,0 +1,57 @@
+package det
+
+import (
+	"cmp"
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeysStrings(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	want := []string{"a", "b", "c"}
+	for i := 0; i < 8; i++ { // repeated calls see different map orders
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortedKeysInts(t *testing.T) {
+	m := map[int]string{5: "e", -1: "a", 3: "c"}
+	if got, want := SortedKeys(m), []int{-1, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysEmptyAndNil(t *testing.T) {
+	if got := SortedKeys(map[string]int{}); got == nil || len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want non-nil empty", got)
+	}
+	var m map[string]int
+	if got := SortedKeys(m); got == nil || len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want non-nil empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type pos struct{ x, y int }
+	m := map[pos]bool{{2, 1}: true, {1, 9}: true, {1, 2}: true}
+	got := SortedKeysFunc(m, func(a, b pos) int {
+		if c := cmp.Compare(a.x, b.x); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.y, b.y)
+	})
+	want := []pos{{1, 2}, {1, 9}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysFuncDescending(t *testing.T) {
+	m := map[int]int{1: 0, 2: 0, 3: 0}
+	got := SortedKeysFunc(m, func(a, b int) int { return cmp.Compare(b, a) })
+	if want := []int{3, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc desc = %v, want %v", got, want)
+	}
+}

@@ -29,6 +29,35 @@ func BenchmarkLintSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkLintInterproc isolates the interprocedural layer: call
+// graph, SCC decomposition, and the bottom-up summary fixpoint over
+// the repository's own module. The load and type-check happen once
+// outside the timed loop, so the number tracks what detflow/floatfold
+// add on top of the per-function layers.
+func BenchmarkLintInterproc(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modpath, err := ModulePath(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := Load(root, modpath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	TypeCheck(pkgs)
+	directives := collectDirectives(pkgs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := NewInterproc(pkgs, directives)
+		if len(ip.Summaries) == 0 {
+			b.Fatal("no summaries computed")
+		}
+	}
+}
+
 // BenchmarkLintLoad measures the front end alone: walking the module,
 // parsing every file, and the dependency-ordered type-check.
 func BenchmarkLintLoad(b *testing.B) {

@@ -27,9 +27,10 @@ import (
 // iteration's address depends on the previous word — justify with a
 // //lint:ignore bulkcharge directive.
 var BulkCharge = &Analyzer{
-	Name: "bulkcharge",
-	Doc:  "per-word hmm charge calls in unit-stride loops should use the bulk *Range APIs",
-	Run:  runBulkCharge,
+	Name:  "bulkcharge",
+	Doc:   "per-word hmm charge calls in unit-stride loops should use the bulk *Range APIs",
+	Layer: LayerDataflow,
+	Run:   runBulkCharge,
 }
 
 // bulkFor maps each per-word Machine method to its bulk replacement.

@@ -30,9 +30,10 @@ import (
 // sub-phases (<sim>.cost.<phase>.<sub>) and the verbatim-copied
 // <sim>.cost.total.
 var CostCharge = &Analyzer{
-	Name: "costcharge",
-	Doc:  "charged <sim>.cost.<phase> counters (resolved through constants and helpers) must match the package's declared costPhases partition",
-	Run:  runCostCharge,
+	Name:  "costcharge",
+	Doc:   "charged <sim>.cost.<phase> counters (resolved through constants and helpers) must match the package's declared costPhases partition",
+	Layer: LayerTyped,
+	Run:   runCostCharge,
 }
 
 // chargeHelper is a function whose body charges a phase counter built

@@ -27,9 +27,10 @@ import (
 //     slice is passed to a sort/slices call later in the same function
 //     — the collect-then-sort idiom restores determinism.
 var DetSeed = &Analyzer{
-	Name: "detseed",
-	Doc:  "internal/ packages must stay deterministic: no time.Now, no global math/rand, no ordered output from map iteration",
-	Run:  runDetSeed,
+	Name:  "detseed",
+	Doc:   "internal/ packages must stay deterministic: no time.Now, no global math/rand, no ordered output from map iteration",
+	Layer: LayerTyped,
+	Run:   runDetSeed,
 }
 
 // globalRandFuncs are the math/rand and math/rand/v2 package-level

@@ -51,11 +51,28 @@ func collectDirectives(pkgs []*Package) []*directive {
 	return out
 }
 
+// suppressedAt reports whether a well-formed directive for analyzer
+// covers pos — same file, same line or the line directly above — and
+// marks the directive used. The interprocedural summaries consult this
+// at construction time, so an ignore on a nondeterminism *source*
+// suppresses the caller-side findings the source would otherwise
+// induce, while still counting as used for the staleness audit.
+func suppressedAt(directives []*directive, pos token.Position, analyzer string) bool {
+	hit := false
+	for _, d := range directives {
+		if d.ok && d.analyzer == analyzer && d.pos.Filename == pos.Filename &&
+			(d.pos.Line == pos.Line || d.pos.Line == pos.Line-1) {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
 // applyDirectives filters findings through the //lint:ignore directives
-// of pkgs and appends directive-hygiene findings (malformed directives
-// always; stale ones when their analyzer actually ran).
-func applyDirectives(pkgs []*Package, analyzers []*Analyzer, findings []Finding) []Finding {
-	directives := collectDirectives(pkgs)
+// and appends directive-hygiene findings (malformed directives always;
+// stale ones when their analyzer actually ran).
+func applyDirectives(directives []*directive, analyzers []*Analyzer, findings []Finding) []Finding {
 	if len(directives) == 0 {
 		return findings
 	}

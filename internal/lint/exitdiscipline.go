@@ -15,9 +15,10 @@ import (
 // Inside the helpers the code literal is pinned: usageErr exits 2,
 // fatal exits 1.
 var ExitDiscipline = &Analyzer{
-	Name: "exitdiscipline",
-	Doc:  "cmd/ packages must route process exits through the usageErr (2) and fatal (1) helpers",
-	Run:  runExitDiscipline,
+	Name:  "exitdiscipline",
+	Doc:   "cmd/ packages must route process exits through the usageErr (2) and fatal (1) helpers",
+	Layer: LayerParse,
+	Run:   runExitDiscipline,
 }
 
 func runExitDiscipline(pass *Pass) {

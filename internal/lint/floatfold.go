@@ -1,0 +1,48 @@
+package lint
+
+// FloatFold certifies the engineLoop discipline interprocedurally
+// (DESIGN §12): every float64 cost accumulation must fold in a
+// single, loop-carried, order-fixed chain, because float addition
+// does not associate — the same partials summed in a different order
+// give a different bit pattern, and the repo's contract is
+// bit-identical charged costs across all five execution engines and
+// any worker count.
+//
+// Flagged shapes, using the bottom-up Accum summaries so the fold may
+// hide behind any depth of calls:
+//
+//   - a float64 `+=` (or x = x + e) inside a map-range, channel-range,
+//     or multi-case select body, when the accumulator outlives the
+//     body — the fold order follows randomized iteration;
+//   - a float64 `+=` into a variable captured by a go-spawned literal
+//     — workers fold in completion order;
+//   - a call, in either context, to a module function whose summary
+//     says it accumulates caller-visible float64 cost (receiver
+//     field, pointer target, or package variable), when the
+//     accumulator's owner is shared with the context — e.g. invoking
+//     obs Registry.Import on a captured registry from a worker
+//     goroutine;
+//   - `go f(...)` where f's summary accumulates caller-visible cost.
+//
+// Fresh accumulators created inside the loop or goroutine body are
+// not flagged (each iteration/worker folds privately), and a
+// //lint:ignore floatfold on the accumulation site inside a callee
+// removes its Accum summary, certifying the fold as order-independent
+// at its definition rather than at every call site.
+var FloatFold = &Analyzer{
+	Name:  "floatfold",
+	Doc:   "float64 cost accumulations reachable from engine entry points must fold in one order-fixed chain, never across map/select order or goroutine completion",
+	Layer: LayerInterproc,
+	Run:   runFloatFold,
+}
+
+// runFloatFold replays the findings the shared bottom-up pass
+// computed for this package (see Pass.Interproc).
+func runFloatFold(pass *Pass) {
+	if pass.Pkg.Info == nil {
+		return
+	}
+	for _, f := range pass.Interproc().fold[pass.Pkg] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}

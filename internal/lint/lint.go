@@ -34,14 +34,40 @@ import (
 	"sort"
 )
 
+// Analyzer layers, in framework order: each layer builds on the
+// previous one's information.
+const (
+	// LayerParse analyzers inspect parse trees only.
+	LayerParse = "parse"
+	// LayerTyped analyzers use the dbspvet go/types pass.
+	LayerTyped = "typed"
+	// LayerDataflow analyzers run per-function CFG/fixpoint problems.
+	LayerDataflow = "dataflow"
+	// LayerInterproc analyzers consume the module call graph and the
+	// bottom-up per-function summaries.
+	LayerInterproc = "interproc"
+)
+
 // Analyzer is one named check over a package.
 type Analyzer struct {
 	// Name identifies the analyzer in findings ("nilguard", ...).
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
+	// Layer names the framework layer the analyzer runs on: parse,
+	// typed, dataflow, or interproc (dbsplint -list prints it).
+	Layer string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
 	Run func(*Pass)
+}
+
+// runState is the state one lint.Run shares across every (package,
+// analyzer) pass: the finding accumulator, the parsed //lint:ignore
+// directives, and the lazily built interprocedural view.
+type runState struct {
+	findings   []Finding
+	directives []*directive
+	interproc  *Interproc
 }
 
 // Pass is one analyzer's view of one package.
@@ -55,17 +81,29 @@ type Pass struct {
 	// package boundaries. All packages share one FileSet, so positions
 	// from any of them render correctly through Reportf.
 	All []*Package
-	// findings accumulates reports across the whole run.
-	findings *[]Finding
+	// run is the shared per-Run state.
+	run *runState
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.findings = append(*p.findings, Finding{
+	p.run.findings = append(p.run.findings, Finding{
 		Pos:      p.Pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Interproc returns the run's shared interprocedural view — the module
+// call graph and the bottom-up function summaries — building it on
+// first use. Analyzers of the interproc layer call this instead of
+// constructing their own graph, so the expensive bottom-up pass runs
+// once per lint.Run however many packages and analyzers consume it.
+func (p *Pass) Interproc() *Interproc {
+	if p.run.interproc == nil {
+		p.run.interproc = NewInterproc(p.All, p.run.directives)
+	}
+	return p.run.interproc
 }
 
 // Finding is one diagnostic.
@@ -90,13 +128,13 @@ func (f Finding) String() string {
 // //lint:ignore directives are applied before sorting.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	TypeCheck(pkgs)
-	var findings []Finding
+	rs := &runState{directives: collectDirectives(pkgs)}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, findings: &findings})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, run: rs})
 		}
 	}
-	findings = applyDirectives(pkgs, analyzers, findings)
+	findings := applyDirectives(rs.directives, analyzers, rs.findings)
 	sort.Slice(findings, func(i, j int) bool {
 		fi, fj := findings[i], findings[j]
 		if fi.Pos.Filename != fj.Pos.Filename {
@@ -111,7 +149,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 }
 
 // Analyzers returns the full suite in display order: the syntactic
-// checks first, then the dbspvet typed pass.
+// checks first, then the dbspvet typed pass, the dataflow analyzers,
+// and the interprocedural determinism vet.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NilGuard,
@@ -125,6 +164,8 @@ func Analyzers() []*Analyzer {
 		LockDiscipline,
 		SnapshotOnly,
 		BulkCharge,
+		DetFlow,
+		FloatFold,
 	}
 }
 

@@ -34,9 +34,10 @@ import (
 // as separate functions with an empty entry state, so a closure that
 // touches guarded state must lock (or be justified with a directive).
 var LockDiscipline = &Analyzer{
-	Name: "lockdiscipline",
-	Doc:  "fields annotated `// guarded by <mu>` are only accessed while the named mutex is held",
-	Run:  runLockDiscipline,
+	Name:  "lockdiscipline",
+	Doc:   "fields annotated `// guarded by <mu>` are only accessed while the named mutex is held",
+	Layer: LayerDataflow,
+	Run:   runLockDiscipline,
 }
 
 // guardKey identifies one held mutex: the root object of its access

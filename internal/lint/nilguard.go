@@ -20,9 +20,10 @@ import (
 //     receiver (which carries its own guard), or never uses the
 //     receiver at all.
 var NilGuard = &Analyzer{
-	Name: "nilguard",
-	Doc:  "exported pointer-receiver methods in internal/obs must begin with a nil-receiver guard",
-	Run:  runNilGuard,
+	Name:  "nilguard",
+	Doc:   "exported pointer-receiver methods in internal/obs must begin with a nil-receiver guard",
+	Layer: LayerParse,
+	Run:   runNilGuard,
 }
 
 func runNilGuard(pass *Pass) {

@@ -15,9 +15,10 @@ import (
 // visible: a string literal, a "<pkg>: " + x concatenation, or a
 // fmt.Sprintf/fmt.Errorf whose format literal carries the prefix.
 var PanicMsg = &Analyzer{
-	Name: "panicmsg",
-	Doc:  "panics in internal/ must carry a \"<pkg>: \"-prefixed message",
-	Run:  runPanicMsg,
+	Name:  "panicmsg",
+	Doc:   "panics in internal/ must carry a \"<pkg>: \"-prefixed message",
+	Layer: LayerParse,
+	Run:   runPanicMsg,
 }
 
 func runPanicMsg(pass *Pass) {

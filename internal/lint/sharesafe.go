@@ -36,9 +36,10 @@ import (
 // through callees, and writes performed by later-running closures, are
 // out of scope (DESIGN §10).
 var ShareSafe = &Analyzer{
-	Name: "sharesafe",
-	Doc:  "values handed to a goroutine, channel, or spawned/sent closure must not be written afterwards by the handing-off function",
-	Run:  runShareSafe,
+	Name:  "sharesafe",
+	Doc:   "values handed to a goroutine, channel, or spawned/sent closure must not be written afterwards by the handing-off function",
+	Layer: LayerDataflow,
+	Run:   runShareSafe,
 }
 
 // escKind distinguishes how a variable escaped.

@@ -29,9 +29,10 @@ import (
 // runtime test still covers it), and out-of-module callees resolve to
 // placeholders and are skipped.
 var SnapshotOnly = &Analyzer{
-	Name: "snapshotonly",
-	Doc:  "code reachable from obshttp handlers calls only read-only obs APIs, never mutating ones",
-	Run:  runSnapshotOnly,
+	Name:  "snapshotonly",
+	Doc:   "code reachable from obshttp handlers calls only read-only obs APIs, never mutating ones",
+	Layer: LayerDataflow,
+	Run:   runSnapshotOnly,
 }
 
 // obsReadOnly is the allowlist of obs-package methods a handler path

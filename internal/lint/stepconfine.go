@@ -20,9 +20,10 @@ import (
 // captured variables stay legal: closing over loop indices, lookup
 // tables and input functions is the builders' normal idiom.
 var StepConfine = &Analyzer{
-	Name: "stepconfine",
-	Doc:  "Superstep.Run closures must not write captured variables; per-processor state belongs in the Ctx",
-	Run:  runStepConfine,
+	Name:  "stepconfine",
+	Doc:   "Superstep.Run closures must not write captured variables; per-processor state belongs in the Ctx",
+	Layer: LayerTyped,
+	Run:   runStepConfine,
 }
 
 func runStepConfine(pass *Pass) {

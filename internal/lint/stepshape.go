@@ -25,9 +25,10 @@ import (
 // Non-constant shapes are left to the runtime checks (Program.Validate
 // and internal/invariant): the analyzer reports only what it can prove.
 var StepShape = &Analyzer{
-	Name: "stepshape",
-	Doc:  "dbsp.Program literals must be well-shaped: power-of-two V, labels in [0, log2 V], a final global barrier, transpose factors matching the cluster size",
-	Run:  runStepShape,
+	Name:  "stepshape",
+	Doc:   "dbsp.Program literals must be well-shaped: power-of-two V, labels in [0, log2 V], a final global barrier, transpose factors matching the cluster size",
+	Layer: LayerTyped,
+	Run:   runStepShape,
 }
 
 func runStepShape(pass *Pass) {

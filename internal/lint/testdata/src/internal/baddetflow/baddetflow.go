@@ -1,0 +1,122 @@
+// Package baddetflow exercises the detflow interprocedural taint
+// analyzer: nondeterminism sources flowing through helpers into
+// output sinks (positives), next to the sanctioned launderings that
+// must stay silent (negatives).
+package baddetflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var epoch time.Time
+
+// Emit writes one line per key — the JSONL-writer mirror the sweep
+// fixtures model. Its summary records that keys reaches output.
+func Emit(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s\n", k)
+	}
+}
+
+// DumpUnsorted feeds map-ordered keys straight into the writer: the
+// seeded bug differential fuzzing misses at small map sizes.
+func DumpUnsorted(w io.Writer, m map[string]int) {
+	keys := make([]string, len(m))
+	i := 0
+	for k := range m {
+		keys[i] = k
+		i++
+	}
+	Emit(w, keys) // want: map-order taint reaches Emit's sink
+}
+
+// DumpSorted restores a canonical order first; silent.
+func DumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, len(m))
+	i := 0
+	for k := range m {
+		keys[i] = k
+		i++
+	}
+	sort.Strings(keys)
+	Emit(w, keys)
+}
+
+// Uptime returns the wall-clock seconds since the package epoch; the
+// clock taint rides its result into every caller.
+func Uptime() float64 {
+	return time.Since(epoch).Seconds()
+}
+
+// ReportUptime prints a clock-derived value. want: finding.
+func ReportUptime() {
+	fmt.Printf("up %f\n", Uptime())
+}
+
+// LogCost writes one cost line; parameter c reaches the sink.
+func LogCost(c float64) {
+	fmt.Printf("cost=%f\n", c)
+}
+
+// Record passes a clock-derived argument into LogCost's sink.
+func Record() {
+	LogCost(Uptime()) // want: clock via Uptime reaches LogCost's print
+}
+
+// LogPair prints one key/value pair.
+func LogPair(k string, v int) {
+	fmt.Printf("%s=%d\n", k, v)
+}
+
+// DumpDirect calls an emitting helper while ranging a map. want:
+// records land in randomized iteration order.
+func DumpDirect(m map[string]int) {
+	for k, v := range m {
+		LogPair(k, v)
+	}
+}
+
+// FirstReady races two channels; which value wins depends on select
+// scheduling, and the winner lands in an error string golden files
+// would pin. want: finding.
+func FirstReady(a, b chan string) error {
+	var got string
+	select {
+	case got = <-a:
+	case got = <-b:
+	}
+	return errors.New("baddetflow: first " + got)
+}
+
+// Backoff reads the clock for control flow only; nothing derived from
+// it reaches output. Silent.
+func Backoff(n int) int {
+	if time.Since(epoch) > time.Second {
+		n++
+	}
+	return n
+}
+
+// EmitSeeded prints a draw from a deterministically seeded generator —
+// the sanctioned randomness path. Silent.
+func EmitSeeded(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	fmt.Printf("draw=%d\n", r.Intn(10))
+}
+
+// buildStamp reads the clock but certifies the read at the source: the
+// directive suppresses every caller-side finding it would induce.
+func buildStamp() string {
+	s := time.Since(epoch).String() //lint:ignore detflow the stamp line is stripped before golden comparison
+	return s
+}
+
+// PrintStamp stays silent because buildStamp's source is certified.
+func PrintStamp() {
+	fmt.Println(buildStamp())
+}

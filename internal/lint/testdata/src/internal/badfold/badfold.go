@@ -1,0 +1,118 @@
+// Package badfold exercises the floatfold analyzer: float64 cost
+// accumulations whose fold order can vary run to run (positives),
+// next to order-fixed folds that must stay silent (negatives).
+package badfold
+
+import (
+	"sort"
+
+	"fixture.example/internal/obs"
+)
+
+// SumMap folds map values in iteration order. want: the fold
+// reassociates with the randomized order.
+func SumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// SumSorted folds the same values over sorted keys; silent.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// SumSlice folds a slice in index order; silent.
+func SumSlice(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// ParallelTotal lets two workers fold into one captured accumulator.
+// want: completion order reassociates the sum.
+func ParallelTotal(a, b []float64) float64 {
+	var total float64
+	done := make(chan bool)
+	go func() {
+		total += SumSlice(a)
+		done <- true
+	}()
+	go func() {
+		total += SumSlice(b)
+		done <- true
+	}()
+	<-done
+	<-done
+	return total
+}
+
+// ParallelPartials folds worker-locally into disjoint slots and merges
+// in a fixed order after the join; silent.
+func ParallelPartials(a, b []float64) float64 {
+	partials := make([]float64, 2)
+	done := make(chan bool)
+	go func() {
+		partials[0] = SumSlice(a)
+		done <- true
+	}()
+	go func() {
+		partials[1] = SumSlice(b)
+		done <- true
+	}()
+	<-done
+	<-done
+	return partials[0] + partials[1]
+}
+
+// importInto accumulates into the counter its caller handed over; the
+// Accum summary records parameter 0 as the owner.
+func importInto(c *obs.FloatCounter, xs []float64) {
+	for _, x := range xs {
+		c.Add(x)
+	}
+}
+
+// SpawnImport ships a shared counter into a goroutine. want: the
+// callee accumulates caller-visible cost in completion order.
+func SpawnImport(c *obs.FloatCounter, xs []float64) {
+	go importInto(c, xs)
+}
+
+// CaptureCounter calls the accumulating method on a captured counter
+// from a goroutine. want: finding.
+func CaptureCounter(c *obs.FloatCounter) {
+	done := make(chan bool)
+	go func() {
+		c.Add(1.5)
+		done <- true
+	}()
+	<-done
+}
+
+// FreshCounter accumulates into a counter created inside the
+// goroutine — each worker folds privately; silent.
+func FreshCounter(xs []float64) {
+	done := make(chan bool)
+	go func() {
+		c := &obs.FloatCounter{}
+		for _, x := range xs {
+			c.Add(x)
+		}
+		done <- true
+	}()
+	<-done
+}

@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/det"
 )
 
 // Counter is a monotonically increasing integer metric. All methods are
@@ -369,19 +370,14 @@ func (r *Registry) Snapshot() []Sample {
 		return nil
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.metrics))
-	for n := range r.metrics {
-		names = append(names, n)
-	}
 	metrics := make(map[string]any, len(r.metrics))
 	for n, m := range r.metrics {
 		metrics[n] = m
 	}
 	r.mu.Unlock()
-	sort.Strings(names)
 
-	out := make([]Sample, 0, len(names))
-	for _, n := range names {
+	out := make([]Sample, 0, len(metrics))
+	for _, n := range det.SortedKeys(metrics) {
 		switch m := metrics[n].(type) {
 		case *Counter:
 			out = append(out, Sample{Name: n, Kind: "counter", Value: float64(m.Value())})

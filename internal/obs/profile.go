@@ -3,9 +3,10 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/det"
 )
 
 // Profile accumulates charged model cost by span stack — the cost
@@ -84,12 +85,15 @@ func (p *Profile) Folded() []StackCost {
 	}
 	r := p.root
 	r.mu.Lock()
-	out := make([]StackCost, 0, len(r.stacks))
+	stacks := make(map[string]float64, len(r.stacks))
 	for s, c := range r.stacks {
-		out = append(out, StackCost{Stack: s, Cost: c})
+		stacks[s] = c
 	}
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Stack < out[j].Stack })
+	out := make([]StackCost, 0, len(stacks))
+	for _, s := range det.SortedKeys(stacks) {
+		out = append(out, StackCost{Stack: s, Cost: stacks[s]})
+	}
 	return out
 }
 

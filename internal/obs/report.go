@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/det"
 )
 
 // Metric naming conventions the simulators follow and Report renders:
@@ -168,13 +170,8 @@ func renderGroup(b *strings.Builder, sim string, samples []Sample) {
 	}
 
 	if len(levels) > 0 {
-		ks := make([]int, 0, len(levels))
-		for k := range levels {
-			ks = append(ks, k)
-		}
-		sort.Ints(ks)
 		fmt.Fprintf(b, "  %-7s %-22s %14s %14s\n", "level", "addresses", "accesses", "cost")
-		for _, k := range ks {
+		for _, k := range det.SortedKeys(levels) {
 			e := levels[k]
 			lo, hi := BucketRange(k)
 			rng := fmt.Sprintf("[%d,%d)", lo, hi)

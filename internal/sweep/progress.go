@@ -91,7 +91,7 @@ func (p *Progress) begin(jobs []Job, workers int, o *obs.Observer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	//lint:ignore detseed the sweep start time anchors progress offsets only
-	p.begun = time.Now()
+	p.begun = time.Now() //lint:ignore detflow progress offsets feed live gauges and /debug/progress only, never the byte-compared sweep records
 	p.jobs = make([]JobProgress, len(jobs))
 	for i, j := range jobs {
 		p.jobs[i] = JobProgress{ID: j.ID, Seq: i, Status: "queued"}

@@ -173,7 +173,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	defer cancel()
 
 	//lint:ignore detseed the sweep start anchors Outcome.Start offsets and progress timestamps only, never job results
-	sweepStart := time.Now()
+	sweepStart := time.Now() //lint:ignore detflow flows only into start_ms, a documented run-varying record field the golden comparison masks
 	opt.Progress.begin(jobs, workers, opt.Obs)
 	defer opt.Progress.finish()
 
@@ -241,14 +241,15 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 				started.Inc()
 				opt.Progress.jobRunning(i)
 				//lint:ignore detseed wall-clock capture only feeds Outcome.Start/Wall and the wall_ms histogram, never the byte-identical job results
-				begin := time.Now()
+				begin := time.Now() //lint:ignore detflow flows only into start_ms/wall_ms, documented run-varying record fields the golden comparison masks
 				out.Start = begin.Sub(sweepStart)
 				val, err := runJob(ctx, job, p)
-				out.Wall = time.Since(begin)
+				out.Wall = time.Since(begin) //lint:ignore detflow wall_ms is a documented run-varying record field the golden comparison masks
 				wallHist.Observe(out.Wall.Milliseconds())
 				if reg != nil {
 					out.Metrics = reg.Snapshot()
 					if opt.LiveMetrics && opt.Obs != nil {
+						//lint:ignore floatfold the live registry is scrape-only: byte-compared output reads the per-job Metrics snapshots, and the completion-order fold here only feeds /metrics
 						opt.Obs.Reg.Import(out.Metrics)
 					}
 				}

@@ -40,22 +40,31 @@ print(f"determinism gate OK: {len(body)} bytes match EXPERIMENTS.md at offset {o
 PYEOF
 
 # Dry-run finding counts: the full dbsplint suite over the module, folded
-# to a per-analyzer tally. The count must be zero — any finding here means
-# a change landed without fixing or //lint:ignore-justifying it.
-lintbin=$(mktemp) lintout=$(mktemp)
-trap 'rm -f "$bin" "$out" "$body" "$lintbin" "$lintout"' EXIT
+# to a per-analyzer tally over the full roster (-list), zeros included —
+# so both a new finding and a silently vanished analyzer are visible.
+# Every count must be zero — any finding here means a change landed
+# without fixing or //lint:ignore-justifying it.
+lintbin=$(mktemp) lintout=$(mktemp) lintroster=$(mktemp)
+trap 'rm -f "$bin" "$out" "$body" "$lintbin" "$lintout" "$lintroster"' EXIT
 go build -o "$lintbin" ./cmd/dbsplint
+"$lintbin" -list >"$lintroster"
 lint_status=0
 "$lintbin" -json ./... >"$lintout" || lint_status=$?
-python3 - "$lintout" "$lint_status" <<'PYEOF'
+python3 - "$lintout" "$lint_status" "$lintroster" <<'PYEOF'
 import collections, json, sys
 
 findings = json.load(open(sys.argv[1]))
+roster = [line.split()[0] for line in open(sys.argv[3]) if line.strip()]
 counts = collections.Counter(f["analyzer"] for f in findings)
-for name, n in sorted(counts.items()):
+for name in roster:
+    print(f"lint findings: {name}: {counts.pop(name, 0)}")
+for name, n in sorted(counts.items()):  # findings from off-roster analyzers: impossible, but never hide
     print(f"lint findings: {name}: {n}")
-print(f"lint findings: total: {len(findings)}")
+print(f"lint findings: total: {len(findings)} across {len(roster)} analyzers")
 if findings or sys.argv[2] != "0":
     sys.stderr.write("lint gate FAILED: fix the findings above or justify each with //lint:ignore <analyzer> <reason>\n")
+    sys.exit(1)
+if len(roster) < 13:
+    sys.stderr.write(f"lint gate FAILED: -list shows {len(roster)} analyzers, expected at least 13 — did an analyzer fall off the roster?\n")
     sys.exit(1)
 PYEOF

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Lint smoke: the full dbsplint suite — syntactic checks, the dbspvet
-# typed pass, and the dataflow analyzers (sharesafe, lockdiscipline,
-# snapshotonly, bulkcharge) — must run clean over the module, and fast.
-# The wall-clock budget (10s, build excluded) guards the dataflow layer:
-# CFG construction and fixpoint solving run per function, and a
-# superlinear regression there would make per-push linting unusable
-# long before it made it wrong.
+# typed pass, the dataflow analyzers (sharesafe, lockdiscipline,
+# snapshotonly, bulkcharge), and the interprocedural determinism vet
+# (detflow, floatfold) — must run clean over the module, and fast. The
+# wall-clock budget (15s, build excluded) guards the analysis layers:
+# CFG construction and fixpoint solving run per function, the call
+# graph and summary fixpoint per module, and a superlinear regression
+# in either would make per-push linting unusable long before it made
+# it wrong.
 #
 # Usage: scripts/lint_smoke.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-budget_s=10
+budget_s=15
 bin=$(mktemp) out=$(mktemp)
 trap 'rm -f "$bin" "$out"' EXIT
 
