@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // denseWords caps the dense prefix of a compiled access function: every
@@ -53,21 +54,84 @@ func Compile(f Func, maxAddr int64) *Compiled {
 	if !reflect.TypeOf(f).Comparable() {
 		return compile(f, rsize)
 	}
-	key := compileKey{f: f, size: rsize}
-	if v, ok := compileCache.Load(key); ok {
-		return v.(*Compiled)
+	key := CacheKey{Func: f, Size: rsize}
+	if c, ok := compileCache.Load(key); ok {
+		return c
 	}
-	c := compile(f, rsize)
-	v, _ := compileCache.LoadOrStore(key, c)
+	return compileCache.LoadOrStore(key, compile(f, rsize))
+}
+
+// CacheKey identifies one compiled table: the comparable base access
+// function and the rounded dense-prefix length. Two machines whose
+// sizes round to the same power of two share one entry.
+type CacheKey struct {
+	// Func is the base access function (comparable; non-comparable
+	// functions bypass the cache entirely).
+	Func Func
+	// Size is the rounded dense-prefix length in words.
+	Size int64
+}
+
+// CacheStats is one monotone snapshot of a table cache's behaviour:
+// Hits and Misses count Compile's cache consultations, Entries the
+// distinct tables stored. A service exports these as gauges so a
+// /metrics scrape shows whether repeated submissions reuse tables.
+type CacheStats struct {
+	Hits, Misses, Entries int64
+}
+
+// TableCache is the store Compile consults before building a table.
+// Implementations must be safe for concurrent use and must return
+// bit-identical tables for equal keys — the cache is pure mechanism,
+// exactly like the tables it holds. The package-level cache behind
+// Compile satisfies it; a service layer depends on this interface (via
+// CompileCache) rather than on the concrete map.
+type TableCache interface {
+	// Load returns the cached table for key, if present.
+	Load(key CacheKey) (*Compiled, bool)
+	// LoadOrStore stores c under key unless an entry already exists,
+	// and returns the table the cache now holds.
+	LoadOrStore(key CacheKey, c *Compiled) *Compiled
+	// Stats returns the cache's monotone hit/miss/entry counters.
+	Stats() CacheStats
+}
+
+// mapCache is the default TableCache: a sync.Map plus atomic counters.
+type mapCache struct {
+	m       sync.Map // CacheKey -> *Compiled
+	hits    atomic.Int64
+	misses  atomic.Int64
+	entries atomic.Int64
+}
+
+func (c *mapCache) Load(key CacheKey) (*Compiled, bool) {
+	if v, ok := c.m.Load(key); ok {
+		c.hits.Add(1)
+		return v.(*Compiled), true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *mapCache) LoadOrStore(key CacheKey, t *Compiled) *Compiled {
+	v, loaded := c.m.LoadOrStore(key, t)
+	if !loaded {
+		c.entries.Add(1)
+	}
 	return v.(*Compiled)
 }
 
-type compileKey struct {
-	f    Func
-	size int64
+func (c *mapCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.entries.Load()}
 }
 
-var compileCache sync.Map // compileKey -> *Compiled
+var compileCache = &mapCache{}
+
+// CompileCache returns the process-wide table cache behind Compile.
+// The cache is shared and append-only: callers may read Stats at any
+// time, and pre-warm tables with LoadOrStore, but there is no eviction
+// — a table, once built, stays bit-identical for the process lifetime.
+func CompileCache() TableCache { return compileCache }
 
 func compile(f Func, denseLen int64) *Compiled {
 	c := &Compiled{f: f, dense: make([]float64, denseLen)}

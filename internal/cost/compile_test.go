@@ -110,6 +110,54 @@ func TestCompileCache(t *testing.T) {
 	}
 }
 
+// TestCompileCacheInterface pins the TableCache contract the service
+// layer depends on: hits and misses count Compile's consultations,
+// entries count distinct stored tables, and a direct Load/LoadOrStore
+// round trip behaves like the map it wraps.
+func TestCompileCacheInterface(t *testing.T) {
+	cache := CompileCache()
+	if cache == nil {
+		t.Fatal("CompileCache returned nil")
+	}
+	before := cache.Stats()
+	f := Poly{Alpha: 0.125} // not used by other tests, so the first Compile misses
+	a := Compile(f, 2000)
+	mid := cache.Stats()
+	if mid.Misses <= before.Misses {
+		t.Errorf("first Compile did not count a miss: %+v -> %+v", before, mid)
+	}
+	if mid.Entries <= before.Entries {
+		t.Errorf("first Compile did not store an entry: %+v -> %+v", before, mid)
+	}
+	b := Compile(f, 2047) // same pow2-rounded size: must hit
+	after := cache.Stats()
+	if a != b {
+		t.Error("second Compile did not return the cached table")
+	}
+	if after.Hits <= mid.Hits {
+		t.Errorf("second Compile did not count a hit: %+v -> %+v", mid, after)
+	}
+	if after.Entries != mid.Entries {
+		t.Errorf("cache hit grew entries: %+v -> %+v", mid, after)
+	}
+
+	// The interface surface itself: Load sees what Compile stored, and
+	// LoadOrStore keeps the first table.
+	key := CacheKey{Func: f, Size: int64(len(a.Dense()))}
+	got, ok := cache.Load(key)
+	if !ok || got != a {
+		t.Errorf("Load(%+v) = (%v, %v), want the compiled table", key, got, ok)
+	}
+	if kept := cache.LoadOrStore(key, compile(f, 64)); kept != a {
+		t.Error("LoadOrStore replaced an existing entry")
+	}
+	// Stats are monotone.
+	final := cache.Stats()
+	if final.Hits < after.Hits || final.Misses < after.Misses || final.Entries < after.Entries {
+		t.Errorf("stats went backwards: %+v -> %+v", after, final)
+	}
+}
+
 // TestCompiledName checks the Func facade.
 func TestCompiledName(t *testing.T) {
 	c := Compile(Log{}, 100)

@@ -283,6 +283,61 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileServiceEdges pins the exact edge-case values
+// the dbspd /metrics p99 lines will serve: an empty histogram, a
+// single observation, and an all-one-bucket distribution. Each case
+// asserts an exact value — the estimator is deterministic, so any
+// drift here would show up as a changed quantile line on a scrape.
+func TestHistogramQuantileServiceEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe []int64
+		p       float64
+		want    float64
+	}{
+		// Empty histogram: every quantile is exactly 0 (no buckets to
+		// interpolate in), which is what a fresh service scrape sees
+		// before the first submission.
+		{"empty-p50", nil, 0.5, 0},
+		{"empty-p99", nil, 0.99, 0},
+		{"empty-p0", nil, 0, 0},
+		{"empty-p1", nil, 1, 0},
+		// Single observation of 5: bucket 3 = [4, 8), count 1, so the
+		// target p*1 interpolates linearly across [4, 8): p50 → 6,
+		// p99 → 7.96, the extremes hit the bucket edges exactly.
+		{"single-p0", []int64{5}, 0, 4},
+		{"single-p50", []int64{5}, 0.5, 6},
+		{"single-p99", []int64{5}, 0.99, 7.96},
+		{"single-p1", []int64{5}, 1, 8},
+		// 100 observations all in bucket 4 = [8, 16): the p99 target is
+		// 99 of 100, landing 99/100 into the bucket = 8 + 0.99*8.
+		{"one-bucket-p50", repeat(12, 100), 0.5, 12},
+		{"one-bucket-p99", repeat(12, 100), 0.99, 15.92},
+		{"one-bucket-p1", repeat(12, 100), 1, 16},
+		// A single zero observation lands in bucket 0 = [0, 1).
+		{"single-zero-p99", []int64{0}, 0.99, 0.99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+			}
+		})
+	}
+	// The same edges through AddAt (the Import path a service registry
+	// takes when folding job snapshots): one pre-bucketed observation in
+	// bucket 3 behaves exactly like Observe(5) did.
+	var h Histogram
+	h.AddAt(3, 1)
+	if got := h.Quantile(0.99); math.Abs(got-7.96) > 1e-12 {
+		t.Errorf("AddAt single-bucket Quantile(0.99) = %g, want 7.96", got)
+	}
+}
+
 // repeat returns n copies of v.
 func repeat(v int64, n int) []int64 {
 	out := make([]int64, n)

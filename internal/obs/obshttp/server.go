@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -78,6 +79,58 @@ func Handler(o Options) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// ProgressSet fans many named progress sources into one
+// /debug/progress payload — the multi-sweep form of Options.Progress.
+// A single-sweep CLI passes one Progress snapshot func; a service with
+// several sweeps in flight registers one source per sweep (plus one
+// for its scheduler) and passes Snapshot as the Options.Progress
+// callback. Sources are polled at request time only; registering and
+// unregistering are cheap and safe for concurrent use, so a scheduler
+// can track sweep lifetimes exactly.
+type ProgressSet struct {
+	mu   sync.Mutex
+	srcs map[string]func() any // guarded by mu
+}
+
+// NewProgressSet returns an empty source set.
+func NewProgressSet() *ProgressSet {
+	return &ProgressSet{srcs: make(map[string]func() any)}
+}
+
+// Register adds (or replaces) the source under name.
+func (s *ProgressSet) Register(name string, src func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srcs[name] = src
+}
+
+// Unregister removes the source under name, if present.
+func (s *ProgressSet) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.srcs, name)
+}
+
+// Snapshot polls every registered source and returns a name → payload
+// map, ready to hand to Options.Progress (encoding/json emits map keys
+// in sorted order, so the payload is deterministic for a given set of
+// source values). Sources are called outside the set's lock: a slow
+// source never blocks Register/Unregister, and a source is free to
+// take its own locks.
+func (s *ProgressSet) Snapshot() any {
+	s.mu.Lock()
+	srcs := make(map[string]func() any, len(s.srcs))
+	for name, src := range s.srcs {
+		srcs[name] = src
+	}
+	s.mu.Unlock()
+	out := make(map[string]any, len(srcs))
+	for name, src := range srcs {
+		out[name] = src()
+	}
+	return out
 }
 
 // Server is a listening observability endpoint with graceful shutdown.

@@ -122,3 +122,62 @@ func TestServeBadAddr(t *testing.T) {
 		t.Fatal("Serve on bad address succeeded")
 	}
 }
+
+// TestProgressSet: named sources fan into one deterministic JSON
+// payload on /debug/progress, registration is live (a source added or
+// removed between requests shows up on the next poll), and snapshots
+// poll sources at request time.
+func TestProgressSet(t *testing.T) {
+	set := NewProgressSet()
+	polled := 0
+	set.Register("scheduler", func() any { return map[string]int{"queued": 3} })
+	set.Register("sweep-a", func() any { polled++; return "running" })
+
+	snap := set.Snapshot().(map[string]any)
+	if len(snap) != 2 || snap["sweep-a"] != "running" {
+		t.Fatalf("snapshot = %v, want scheduler + sweep-a", snap)
+	}
+	if polled != 1 {
+		t.Errorf("source polled %d times, want once per Snapshot", polled)
+	}
+
+	// Through the handler: the payload is a JSON object keyed by source
+	// name, so a scraper sees every in-flight sweep in one request.
+	srv, err := Serve("127.0.0.1:0", Options{Progress: set.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	code, body, _ := get(t, "http://"+srv.Addr()+"/debug/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/progress status = %d", code)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("payload not a JSON object: %v\n%s", err, body)
+	}
+	if _, ok := decoded["scheduler"]; !ok {
+		t.Errorf("payload missing scheduler source: %s", body)
+	}
+	if !strings.Contains(body, `"running"`) {
+		t.Errorf("payload missing sweep-a value: %s", body)
+	}
+
+	// Unregister removes the source from the next snapshot.
+	set.Unregister("sweep-a")
+	_, body, _ = get(t, "http://"+srv.Addr()+"/debug/progress")
+	if strings.Contains(body, "sweep-a") {
+		t.Errorf("unregistered source still served: %s", body)
+	}
+
+	// Replacing a source under the same name takes effect immediately.
+	set.Register("scheduler", func() any { return map[string]int{"queued": 0} })
+	_, body, _ = get(t, "http://"+srv.Addr()+"/debug/progress")
+	if !strings.Contains(body, `"queued": 0`) {
+		t.Errorf("replaced source not live: %s", body)
+	}
+}

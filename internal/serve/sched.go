@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
+	"repro/internal/sweep"
+)
+
+// Job states. A job moves queued → running → done/failed/cancelled;
+// cache hits are born done.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("serve: no such job")
+
+// ErrClosed reports a submission to a shut-down scheduler.
+var ErrClosed = errors.New("serve: scheduler is shut down")
+
+// Config tunes the scheduler. The zero value is usable: one running
+// sweep per tenant, two sweeps globally, engine-default workers,
+// caching on.
+type Config struct {
+	// Workers is the per-sweep worker pool default (0 = engine default,
+	// GOMAXPROCS); a Spec.Workers override wins when set.
+	Workers int
+	// TenantQuota caps concurrently running sweeps per tenant (<= 0
+	// means 1). Queued work beyond the quota waits, whatever its
+	// priority, so one tenant cannot starve the rest.
+	TenantQuota int
+	// MaxSweeps caps concurrently running sweeps across all tenants
+	// (<= 0 means 2).
+	MaxSweeps int
+	// NoCache disables the repeated-submission result cache.
+	NoCache bool
+	// Obs receives the scheduler's counters and gauges plus every
+	// sweep's engine metrics; its registry is what /metrics serves. May
+	// be nil.
+	Obs *obs.Observer
+	// Progress, when non-nil, receives one registered source per
+	// running sweep plus the scheduler's own counts, for the service's
+	// /debug/progress endpoint.
+	Progress *obshttp.ProgressSet
+}
+
+// JobStatus is the JSON form of one submission's state.
+type JobStatus struct {
+	// ID is the scheduler-assigned job ID ("j000001", submission order).
+	ID string `json:"id"`
+	// Tenant and Priority echo the submission envelope.
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority,omitempty"`
+	// Program is the resolved ID set in catalog order — the run order,
+	// whatever order the submission spelled.
+	Program []string `json:"program"`
+	// State is queued, running, done, failed or cancelled.
+	State string `json:"state"`
+	// Cached reports that the result was served from the cache without
+	// running anything.
+	Cached bool `json:"cached,omitempty"`
+	// Err is the failure cause for failed/cancelled jobs.
+	Err string `json:"err,omitempty"`
+	// Lines is the number of JSONL result lines available now; Total is
+	// the number the finished stream will hold.
+	Lines int `json:"lines"`
+	Total int `json:"total"`
+}
+
+// SchedSnapshot is the scheduler's /debug/progress payload.
+type SchedSnapshot struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// RunningByTenant maps tenant → currently running sweeps (JSON maps
+	// encode in sorted key order, so the payload is deterministic).
+	RunningByTenant map[string]int `json:"running_by_tenant,omitempty"`
+}
+
+// job is one submission's scheduler record. The immutable fields are
+// set at submission; the mutable state below the marker is read and
+// written only with the owning Scheduler's mu held (the stream has its
+// own lock and is safe to touch from anywhere).
+type job struct {
+	id     string
+	spec   Spec
+	ids    []string // resolved program, catalog order
+	key    string
+	seq    int
+	sjobs  []sweep.Job
+	stream *resultStream
+
+	// mutable under the owning Scheduler's mu
+	state     string
+	cached    bool
+	errMsg    string
+	cancelled bool               // cancellation requested while running
+	cancel    context.CancelFunc // non-nil while running
+	runCtx    context.Context    // non-nil while running
+	progress  *sweep.Progress    // non-nil while running
+}
+
+// Scheduler is the fair multi-tenant queue in front of the sweep
+// engine: submissions enter per-tenant queues, dispatch respects the
+// global and per-tenant concurrency caps, and equal-priority work is
+// served in submission order with ties broken toward the tenant
+// running the least. Completed results are cached by (program hash,
+// params, seed) — legitimate because the engine's determinism contract
+// makes results schedule-independent, so a hit is byte-identical to a
+// re-run under any quota or worker setting.
+type Scheduler struct {
+	catalog Catalog
+	cfg     Config
+	pset    *obshttp.ProgressSet
+
+	// metric handles, resolved once (all nil-safe via obs.Observer)
+	cSubmitted, cDone, cFailed, cCancelled *obs.Counter
+	cCacheHit, cCacheMiss                  *obs.Counter
+	gQueued, gRunning                      *obs.Gauge
+	gCostHits, gCostMisses, gCostEntries   *obs.Gauge
+
+	wg sync.WaitGroup // running runSweep goroutines
+
+	mu            sync.Mutex
+	closed        bool                // guarded by mu
+	seq           int                 // guarded by mu
+	jobs          map[string]*job     // guarded by mu
+	order         []*job              // guarded by mu
+	queued        int                 // guarded by mu
+	running       int                 // guarded by mu
+	done          int                 // guarded by mu
+	failed        int                 // guarded by mu
+	cancelled     int                 // guarded by mu
+	tenantRunning map[string]int      // guarded by mu
+	cache         map[string][][]byte // guarded by mu
+}
+
+// NewScheduler returns a scheduler over the catalog. It registers its
+// own counts as the "scheduler" source of cfg.Progress when set.
+func NewScheduler(catalog Catalog, cfg Config) *Scheduler {
+	if cfg.TenantQuota <= 0 {
+		cfg.TenantQuota = 1
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 2
+	}
+	o := cfg.Obs
+	s := &Scheduler{
+		catalog: catalog,
+		cfg:     cfg,
+		pset:    cfg.Progress,
+
+		cSubmitted: o.Counter("serve.jobs.submitted"),
+		cDone:      o.Counter("serve.jobs.done"),
+		cFailed:    o.Counter("serve.jobs.failed"),
+		cCancelled: o.Counter("serve.jobs.cancelled"),
+		cCacheHit:  o.Counter("serve.cache.hits"),
+		cCacheMiss: o.Counter("serve.cache.misses"),
+		gQueued:    o.Gauge("serve.jobs.queued"),
+		gRunning:   o.Gauge("serve.jobs.running"),
+
+		gCostHits:    o.Gauge("cost.compile.cache.hits"),
+		gCostMisses:  o.Gauge("cost.compile.cache.misses"),
+		gCostEntries: o.Gauge("cost.compile.cache.entries"),
+
+		jobs:          make(map[string]*job),
+		tenantRunning: make(map[string]int),
+		cache:         make(map[string][][]byte),
+	}
+	if s.pset != nil {
+		s.pset.Register("scheduler", func() any { return s.Snapshot() })
+	}
+	return s
+}
+
+// Submit validates and enqueues one submission, returning its status
+// (already done when the cache had the result). The returned status is
+// a consistent snapshot; poll Status for updates.
+func (s *Scheduler) Submit(spec Spec) (JobStatus, error) {
+	if err := spec.normalize(); err != nil {
+		return JobStatus{}, err
+	}
+	sjobs, err := s.catalog.Resolve(spec.IDs)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	ids := make([]string, len(sjobs))
+	for i := range sjobs {
+		ids[i] = sjobs[i].ID
+	}
+	key := cacheKey(ids, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+	s.seq++
+	j := &job{
+		id:     fmt.Sprintf("j%06d", s.seq),
+		spec:   spec,
+		ids:    ids,
+		key:    key,
+		seq:    s.seq,
+		sjobs:  sjobs,
+		stream: newResultStream(),
+		state:  StateQueued,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.cSubmitted.Inc()
+	if lines, hit := s.cache[key]; hit && !s.cfg.NoCache {
+		s.cCacheHit.Inc()
+		j.state, j.cached = StateDone, true
+		for _, ln := range lines {
+			j.stream.append(ln)
+		}
+		j.stream.finish()
+		s.done++
+		s.cDone.Inc()
+		s.publishLocked()
+		return s.statusLocked(j), nil
+	}
+	if !s.cfg.NoCache {
+		s.cCacheMiss.Inc()
+	}
+	s.queued++
+	s.dispatchLocked()
+	return s.statusLocked(j), nil
+}
+
+// Status returns the current state of job id.
+func (s *Scheduler) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// List returns every job's status in submission order.
+func (s *Scheduler) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, j := range s.order {
+		out[i] = s.statusLocked(j)
+	}
+	return out
+}
+
+// Stream returns job id's result stream for followers.
+func (s *Scheduler) Stream(id string) (*resultStream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j.stream, nil
+}
+
+// Cancel cancels job id: a queued job is dropped before it runs, a
+// running job has its sweep context cancelled (remaining experiments
+// skip; the job lands in state cancelled). Terminal jobs are left
+// untouched. Cancel is idempotent.
+func (s *Scheduler) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.cancelLocked(j)
+	return s.statusLocked(j), nil
+}
+
+// cancelLocked applies a cancellation request to j; callers hold s.mu.
+func (s *Scheduler) cancelLocked(j *job) {
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled before start"
+		j.stream.finish()
+		s.queued--
+		s.cancelled++
+		s.cCancelled.Inc()
+		s.publishLocked()
+		s.dispatchLocked()
+	case StateRunning:
+		if !j.cancelled {
+			j.cancelled = true
+			j.cancel()
+		}
+	}
+}
+
+// Close stops the scheduler: queued jobs are cancelled, running sweeps
+// have their contexts cancelled, further submissions fail with
+// ErrClosed, and Close returns once every sweep goroutine has drained.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, j := range s.order {
+			s.cancelLocked(j)
+		}
+		if s.pset != nil {
+			s.pset.Unregister("scheduler")
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Snapshot returns the scheduler's live counts.
+func (s *Scheduler) Snapshot() SchedSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SchedSnapshot{
+		Queued:    s.queued,
+		Running:   s.running,
+		Done:      s.done,
+		Failed:    s.failed,
+		Cancelled: s.cancelled,
+	}
+	if len(s.tenantRunning) > 0 {
+		snap.RunningByTenant = make(map[string]int, len(s.tenantRunning))
+		for t, n := range s.tenantRunning {
+			snap.RunningByTenant[t] = n
+		}
+	}
+	return snap
+}
+
+// statusLocked builds j's JobStatus; callers hold s.mu.
+func (s *Scheduler) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID:       j.id,
+		Tenant:   j.spec.Tenant,
+		Priority: j.spec.Priority,
+		Program:  j.ids,
+		State:    j.state,
+		Cached:   j.cached,
+		Err:      j.errMsg,
+		Lines:    j.stream.snapshotLen(),
+		Total:    len(j.ids),
+	}
+}
+
+// publishLocked mirrors the live counts into the gauges; callers hold
+// s.mu.
+func (s *Scheduler) publishLocked() {
+	s.gQueued.Set(int64(s.queued))
+	s.gRunning.Set(int64(s.running))
+	cs := cost.CompileCache().Stats()
+	s.gCostHits.Set(cs.Hits)
+	s.gCostMisses.Set(cs.Misses)
+	s.gCostEntries.Set(cs.Entries)
+}
+
+// pickLocked chooses the next job to dispatch, or nil when the caps
+// leave nothing eligible: highest Priority first, then the tenant with
+// the fewest running sweeps, then submission order. Callers hold s.mu.
+func (s *Scheduler) pickLocked() *job {
+	if s.running >= s.cfg.MaxSweeps {
+		return nil
+	}
+	var best *job
+	for _, j := range s.order {
+		if j.state != StateQueued || s.tenantRunning[j.spec.Tenant] >= s.cfg.TenantQuota {
+			continue
+		}
+		if best == nil {
+			best = j
+			continue
+		}
+		switch {
+		case j.spec.Priority > best.spec.Priority:
+			best = j
+		case j.spec.Priority == best.spec.Priority &&
+			s.tenantRunning[j.spec.Tenant] < s.tenantRunning[best.spec.Tenant]:
+			best = j
+		}
+	}
+	return best
+}
+
+// dispatchLocked starts every job the caps allow. All scheduler-state
+// writes happen before any sweep goroutine spawns; callers hold s.mu.
+func (s *Scheduler) dispatchLocked() {
+	if s.closed {
+		return
+	}
+	var starts []*job
+	for {
+		j := s.pickLocked()
+		if j == nil {
+			break
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.state = StateRunning
+		j.cancel = cancel
+		j.progress = sweep.NewProgress()
+		j.runCtx = ctx
+		s.queued--
+		s.running++
+		s.tenantRunning[j.spec.Tenant]++
+		starts = append(starts, j)
+	}
+	if len(starts) == 0 {
+		return
+	}
+	s.publishLocked()
+	for _, j := range starts {
+		if s.pset != nil {
+			p := j.progress
+			s.pset.Register("sweep:"+j.id, func() any { return p.Snapshot() })
+		}
+		s.wg.Add(1)
+		go s.runSweep(j)
+	}
+}
+
+// runSweep runs j's sweep to completion; one goroutine per running
+// job.
+func (s *Scheduler) runSweep(j *job) {
+	defer s.wg.Done()
+	workers := j.spec.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	_, err := sweep.Run(j.runCtx, j.sjobs, sweep.Options{
+		Workers:   workers,
+		KeepGoing: true,
+		Quick:     j.spec.Quick,
+		Seed:      j.spec.Seed,
+		Metrics:   j.spec.Metrics,
+		Obs:       s.cfg.Obs,
+		Progress:  j.progress,
+		Stream: func(o sweep.Outcome) {
+			j.stream.append(encodeLine(o))
+		},
+	})
+	s.finishJob(j, err)
+}
+
+// encodeLine renders one outcome as its JSONL line, byte-identical to
+// sweep.WriteJSONL's output for the same outcome. A value that fails
+// to encode degrades to the partial record with the encoding error in
+// its err field rather than losing the line.
+func encodeLine(o sweep.Outcome) []byte {
+	rec, err := sweep.RecordOf(o)
+	if err != nil && rec.Err == "" {
+		rec.Err = err.Error()
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		raw, _ = json.Marshal(sweep.Record{ID: o.ID, Seq: o.Seq, Status: string(o.Status), Err: err.Error()})
+	}
+	return append(raw, '\n')
+}
+
+// finishJob lands j's terminal state, feeds the cache, and dispatches
+// whatever the freed slots allow.
+func (s *Scheduler) finishJob(j *job, runErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel() // release the context's resources; idempotent
+	s.running--
+	s.tenantRunning[j.spec.Tenant]--
+	if s.tenantRunning[j.spec.Tenant] == 0 {
+		delete(s.tenantRunning, j.spec.Tenant)
+	}
+	switch {
+	case j.cancelled:
+		j.state = StateCancelled
+		if runErr != nil {
+			j.errMsg = runErr.Error()
+		} else {
+			j.errMsg = "cancelled"
+		}
+		s.cancelled++
+		s.cCancelled.Inc()
+	case runErr != nil:
+		j.state = StateFailed
+		j.errMsg = runErr.Error()
+		s.failed++
+		s.cFailed.Inc()
+	default:
+		j.state = StateDone
+		if !s.cfg.NoCache {
+			s.cache[j.key] = j.stream.all()
+		}
+		s.done++
+		s.cDone.Inc()
+	}
+	j.stream.finish()
+	if s.pset != nil {
+		s.pset.Unregister("sweep:" + j.id)
+	}
+	j.progress = nil
+	s.publishLocked()
+	s.dispatchLocked()
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// Spec is one submission: a program (a set of catalog job IDs), its
+// parameters, and the tenant/priority envelope the scheduler uses.
+// Everything that influences the job's *bytes* — the resolved program,
+// Quick, Seed, Metrics — goes into the result-cache key; everything
+// that influences only *scheduling* — Tenant, Priority, Workers — is
+// deliberately excluded, because the sweep engine's contract makes the
+// output byte-identical for any schedule. A cache hit across different
+// worker counts is therefore not an approximation; it is the
+// determinism contract, serviced.
+type Spec struct {
+	// Tenant names the submitting tenant; empty means "default". The
+	// scheduler enforces per-tenant concurrency quotas and fairness
+	// across tenants.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders a tenant's own queue: higher runs first, ties go
+	// to submission order.
+	Priority int `json:"priority,omitempty"`
+	// IDs is the program: the set of catalog jobs to run. Execution
+	// order is the catalog's, not the request's, so [E03,E01] and
+	// [E01,E03] are the same program (and share a cache entry).
+	IDs []string `json:"ids"`
+	// Quick trims parameter sweeps, exactly like the CLI flag.
+	Quick bool `json:"quick,omitempty"`
+	// Seed is the base seed; each job runs under sweep.SeedFor(Seed, id).
+	Seed uint64 `json:"seed,omitempty"`
+	// Metrics attaches each job's private registry snapshot to its
+	// JSONL record, exactly like the CLI's -metrics.
+	Metrics bool `json:"metrics,omitempty"`
+	// Workers overrides the server's per-sweep worker pool for this
+	// submission (0 = server default). It cannot change the result
+	// bytes — that is the engine contract the service is built on.
+	Workers int `json:"workers,omitempty"`
+}
+
+// maxTenantLen bounds tenant names; they key quota maps and appear in
+// URLs and progress payloads.
+const maxTenantLen = 64
+
+// normalize applies defaults and validates the envelope fields.
+func (s *Spec) normalize() error {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if len(s.Tenant) > maxTenantLen {
+		return fmt.Errorf("serve: tenant name longer than %d bytes", maxTenantLen)
+	}
+	for _, r := range s.Tenant {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("serve: tenant name contains control characters")
+		}
+	}
+	if len(s.IDs) == 0 {
+		return fmt.Errorf("serve: submission has no program IDs")
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("serve: workers must be >= 0, got %d", s.Workers)
+	}
+	return nil
+}
+
+// cacheKey derives the result-cache key of a resolved submission:
+// (program hash, params, seed). ids must be the *resolved* program in
+// catalog order, so every spelling of the same program maps to one
+// entry.
+func cacheKey(ids []string, spec Spec) string {
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("g%016x|quick=%t|metrics=%t|seed=%d", h.Sum64(), spec.Quick, spec.Metrics, spec.Seed)
+}
+
+// Catalog resolves submitted program IDs to runnable sweep jobs. The
+// production catalog wraps the experiment grid; tests substitute fast
+// synthetic jobs.
+type Catalog interface {
+	// Resolve maps the requested ID set to jobs in the catalog's
+	// canonical order. Unknown or duplicate IDs are an error; the
+	// returned jobs preserve catalog order so service output matches
+	// the CLI's for the same selection.
+	Resolve(ids []string) ([]sweep.Job, error)
+}
+
+// jobCatalog is the Catalog over a fixed job list.
+type jobCatalog struct {
+	jobs  []sweep.Job
+	index map[string]int
+}
+
+// NewCatalog returns a Catalog over jobs, keyed and ordered by the
+// list itself (the same shape cmd/experiments selects from). Job IDs
+// must be unique; Run would reject duplicates anyway, so the catalog
+// refuses them up front.
+func NewCatalog(jobs []sweep.Job) (Catalog, error) {
+	c := jobCatalog{jobs: jobs, index: make(map[string]int, len(jobs))}
+	for i, j := range jobs {
+		if _, dup := c.index[j.ID]; dup {
+			return nil, fmt.Errorf("serve: catalog has duplicate job ID %q", j.ID)
+		}
+		c.index[j.ID] = i
+	}
+	return c, nil
+}
+
+func (c jobCatalog) Resolve(ids []string) ([]sweep.Job, error) {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if want[id] {
+			return nil, fmt.Errorf("serve: duplicate program ID %q in submission", id)
+		}
+		if _, ok := c.index[id]; !ok {
+			return nil, fmt.Errorf("serve: unknown program ID %q (catalog has %s)", id, c.summary())
+		}
+		want[id] = true
+	}
+	out := make([]sweep.Job, 0, len(ids))
+	for _, j := range c.jobs {
+		if want[j.ID] {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// summary lists the catalog IDs for unknown-ID errors, truncated so a
+// big catalog cannot bloat an error string.
+func (c jobCatalog) summary() string {
+	ids := make([]string, 0, len(c.index))
+	for id := range c.index {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if len(ids) > 8 {
+		ids = append(ids[:8], "...")
+	}
+	return strings.Join(ids, ",")
+}

@@ -1,0 +1,245 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The sweep-contract suite (TestContract*): pins the parts of the
+// engine's error and streaming contract that a service layer builds
+// on. scripts/check_experiments.sh runs exactly these tests as part of
+// the determinism gate, so a regression here fails CI twice — once as
+// a test, once as a gate.
+
+// TestContractKeepGoingErrorSchedulesIdentically pins the fixed error
+// contract: with KeepGoing and multiple failures, Run reports the
+// failed outcome with the lowest Seq, whatever the completion order.
+// The job mix is built so the pre-fix engine (completion-order first
+// failure) demonstrably returned different errors for different
+// worker counts: the lowest-Seq failure (J01) sleeps long enough that
+// any parallel schedule completes the higher-Seq failure (J05) first.
+func TestContractKeepGoingErrorSchedulesIdentically(t *testing.T) {
+	mkJobs := func() []Job {
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			id := fmt.Sprintf("J%02d", i)
+			var run func(ctx context.Context, p Params) (any, error)
+			switch i {
+			case 1:
+				run = func(ctx context.Context, p Params) (any, error) {
+					time.Sleep(60 * time.Millisecond)
+					return nil, errors.New("slow failure")
+				}
+			case 5:
+				run = func(ctx context.Context, p Params) (any, error) {
+					return nil, errors.New("fast failure")
+				}
+			default:
+				run = func(ctx context.Context, p Params) (any, error) {
+					return id, nil
+				}
+			}
+			jobs[i] = Job{ID: id, Run: run}
+		}
+		return jobs
+	}
+
+	var errs []string
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Run(context.Background(), mkJobs(), Options{Workers: workers, KeepGoing: true})
+		if err == nil {
+			t.Fatalf("workers=%d: want an error from the failing jobs", workers)
+		}
+		errs = append(errs, err.Error())
+	}
+	for i, e := range errs {
+		if e != errs[0] {
+			t.Errorf("error varies with worker count:\n  workers=1:  %s\n  other:      %s", errs[0], e)
+			_ = i
+		}
+		if !strings.Contains(e, "J01") || !strings.Contains(e, "slow failure") {
+			t.Errorf("error = %q, want the lowest-Seq failure (J01: slow failure)", e)
+		}
+	}
+}
+
+// TestContractKeepGoingManyFailures drives the same contract harder:
+// every third job fails instantly and the reported failure must always
+// be the lowest-Seq one.
+func TestContractKeepGoingManyFailures(t *testing.T) {
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		id := fmt.Sprintf("J%02d", i)
+		fail := i%3 == 2 // first failure at Seq 2
+		jobs[i] = Job{ID: id, Run: func(ctx context.Context, p Params) (any, error) {
+			if fail {
+				return nil, fmt.Errorf("boom %s", id)
+			}
+			return id, nil
+		}}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		outcomes, err := Run(context.Background(), jobs, Options{Workers: workers, KeepGoing: true})
+		if err == nil || !strings.Contains(err.Error(), "J02") {
+			t.Errorf("workers=%d: err = %v, want the Seq-2 failure", workers, err)
+		}
+		for i, o := range outcomes {
+			want := StatusOK
+			if i%3 == 2 {
+				want = StatusFailed
+			}
+			if o.Status != want {
+				t.Errorf("workers=%d job %d status = %s, want %s", workers, i, o.Status, want)
+			}
+		}
+	}
+}
+
+// TestContractFailFastReportsLowestSeqFailure: without KeepGoing the
+// first observed failure still cancels the sweep, but when several
+// in-flight jobs fail before the cancellation lands, the reported one
+// is the lowest-Seq failure among them — never a completion-order
+// coin flip.
+func TestContractFailFastReportsLowestSeqFailure(t *testing.T) {
+	// Both failing jobs are in flight together (workers=2) and the
+	// higher-Seq one finishes first.
+	var release sync.WaitGroup
+	release.Add(1)
+	jobs := []Job{
+		{ID: "A", Run: func(ctx context.Context, p Params) (any, error) {
+			release.Wait() // fail only after B has failed
+			return nil, errors.New("slow A failure")
+		}},
+		{ID: "B", Run: func(ctx context.Context, p Params) (any, error) {
+			defer release.Done()
+			return nil, errors.New("fast B failure")
+		}},
+	}
+	_, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "job A") || !strings.Contains(err.Error(), "slow A failure") {
+		t.Errorf("err = %v, want the lowest-Seq (A) failure", err)
+	}
+}
+
+// TestContractRejectsDuplicateIDs: job IDs drive SeedFor and service
+// cache keys; a duplicate silently collapses two jobs onto one seed,
+// so Run must refuse the list outright.
+func TestContractRejectsDuplicateIDs(t *testing.T) {
+	ok := func(ctx context.Context, p Params) (any, error) { return "ok", nil }
+	jobs := []Job{{ID: "E01", Run: ok}, {ID: "E02", Run: ok}, {ID: "E01", Run: ok}}
+	outcomes, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("duplicate job IDs accepted")
+	}
+	for _, want := range []string{"duplicate", "E01", "0", "2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %q, want mention of %q", err, want)
+		}
+	}
+	if outcomes != nil {
+		t.Errorf("outcomes = %v, want nil for a rejected job list", outcomes)
+	}
+	// The rejection must not depend on scheduling: identical error for
+	// every worker count.
+	ref := err.Error()
+	for _, workers := range []int{1, 16} {
+		_, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err == nil || err.Error() != ref {
+			t.Errorf("workers=%d: duplicate-ID error %v, want %q", workers, err, ref)
+		}
+	}
+}
+
+// TestContractStreamOrdered: the Options.Stream hook must deliver
+// outcomes in submission order — each as soon as it and every earlier
+// job are terminal — and the streamed outcomes must equal the returned
+// slice exactly.
+func TestContractStreamOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		jobs := make([]Job, 20)
+		for i := range jobs {
+			id := fmt.Sprintf("J%02d", i)
+			delay := time.Duration((i*7)%5) * time.Millisecond // jumbled completion order
+			fail := i == 13
+			jobs[i] = Job{ID: id, Run: func(ctx context.Context, p Params) (any, error) {
+				time.Sleep(delay)
+				if fail {
+					return nil, errors.New("boom")
+				}
+				return id, nil
+			}}
+		}
+		var mu sync.Mutex
+		var streamed []Outcome
+		outcomes, err := Run(context.Background(), jobs, Options{
+			Workers:   workers,
+			KeepGoing: true,
+			Stream: func(o Outcome) {
+				mu.Lock()
+				defer mu.Unlock()
+				streamed = append(streamed, o)
+			},
+		})
+		if err == nil || !strings.Contains(err.Error(), "J13") {
+			t.Fatalf("workers=%d: err = %v, want J13 failure", workers, err)
+		}
+		mu.Lock()
+		got := append([]Outcome(nil), streamed...)
+		mu.Unlock()
+		if !reflect.DeepEqual(got, outcomes) {
+			t.Errorf("workers=%d: streamed outcomes diverge from returned slice", workers)
+		}
+		for i, o := range got {
+			if o.Seq != i {
+				t.Errorf("workers=%d: stream position %d carries Seq %d", workers, i, o.Seq)
+			}
+		}
+	}
+}
+
+// TestContractStreamPrefixLive: outcomes stream while the sweep is
+// still running — the hook sees the terminal prefix before Run
+// returns, which is what lets a service resume/follow a sweep's JSONL
+// stream live.
+func TestContractStreamPrefixLive(t *testing.T) {
+	gate := make(chan struct{})
+	sawPrefix := make(chan int, 1)
+	jobs := []Job{
+		{ID: "fast", Run: func(ctx context.Context, p Params) (any, error) { return 1, nil }},
+		{ID: "slow", Run: func(ctx context.Context, p Params) (any, error) {
+			<-gate // blocks until the fast job's outcome has streamed
+			return 2, nil
+		}},
+	}
+	var n int
+	_, err := Run(context.Background(), jobs, Options{
+		Workers: 2,
+		Stream: func(o Outcome) {
+			n++
+			if n == 1 {
+				select {
+				case sawPrefix <- 1:
+				default:
+				}
+				close(gate)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sawPrefix:
+	default:
+		t.Error("first outcome never streamed before the sweep finished")
+	}
+	if n != 2 {
+		t.Errorf("streamed %d outcomes, want 2", n)
+	}
+}

@@ -121,6 +121,105 @@ func TestProgressETA(t *testing.T) {
 	}
 }
 
+// TestProgressZeroPaths audits the zero-jobs / zero-finished edges of
+// the tracker: an empty sweep still begins and finishes cleanly, the
+// ETA estimate is exactly 0 whenever no job has finished (or no worker
+// exists to finish one), and no count field goes negative or NaN —
+// the division-by-zero candidates are the workers divisor and the
+// empty wall histogram's quantile, both of which must short-circuit.
+func TestProgressZeroPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		jobs    []Job
+		workers int
+		drive   func(p *Progress)
+	}{
+		{"empty-jobs-zero-workers", nil, 0, func(p *Progress) {}},
+		{"empty-jobs-positive-workers", nil, 4, func(p *Progress) {}},
+		{"jobs-none-finished", []Job{{ID: "A"}, {ID: "B"}}, 2, func(p *Progress) {
+			p.jobRunning(0)
+		}},
+		{"jobs-finished-zero-workers", []Job{{ID: "A"}}, 0, func(p *Progress) {
+			p.jobRunning(0)
+			p.jobFinished(0, StatusOK, time.Millisecond)
+		}},
+		{"all-skipped", []Job{{ID: "A"}, {ID: "B"}}, 1, func(p *Progress) {
+			p.jobSkipped(0)
+			p.jobSkipped(1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProgress()
+			reg := obs.NewRegistry()
+			p.begin(tc.jobs, tc.workers, obs.New(reg, nil))
+			tc.drive(p)
+			p.finish()
+			s := p.Snapshot()
+			if s.Total != len(tc.jobs) || !s.Done {
+				t.Fatalf("snapshot = %+v, want Total %d, Done", s, len(tc.jobs))
+			}
+			if s.Queued < 0 || s.Running < 0 || s.Completed < 0 || s.Failed < 0 || s.Skipped < 0 {
+				t.Errorf("negative count in %+v", s)
+			}
+			if s.ETAMS != s.ETAMS || s.ETAMS < 0 { // NaN or negative
+				t.Errorf("ETA = %v, want finite and >= 0", s.ETAMS)
+			}
+			// Zero finished jobs, or zero workers, must pin the estimate
+			// to exactly 0 — not Inf from a zero divisor.
+			if (s.Completed+s.Failed == 0 || tc.workers == 0) && s.ETAMS != 0 {
+				t.Errorf("ETA = %v with %d finished jobs and %d workers, want 0",
+					s.ETAMS, s.Completed+s.Failed, tc.workers)
+			}
+			if g := reg.Gauge("sweep.eta_ms").Value(); g < 0 {
+				t.Errorf("sweep.eta_ms gauge = %d, want >= 0", g)
+			}
+			if s.ElapsedMS < 0 {
+				t.Errorf("Elapsed = %v", s.ElapsedMS)
+			}
+		})
+	}
+}
+
+// TestRunEmptyJobsWithProgress: the engine path for a zero-job run —
+// begin with a zero-clamped worker pool, no transitions, finish — must
+// leave a consistent, ETA-free snapshot and zeroed gauges rather than
+// garbage from the 0-worker divisor.
+func TestRunEmptyJobsWithProgress(t *testing.T) {
+	prog := NewProgress()
+	reg := obs.NewRegistry()
+	outcomes, err := Run(context.Background(), nil, Options{
+		Workers:  8,
+		Obs:      obs.New(reg, nil),
+		Progress: prog,
+	})
+	if err != nil || len(outcomes) != 0 {
+		t.Fatalf("empty run = (%v, %v)", outcomes, err)
+	}
+	s := prog.Snapshot()
+	if s.Total != 0 || !s.Done || s.ETAMS != 0 || s.Workers != 0 {
+		t.Errorf("snapshot after empty run = %+v, want Total 0, Done, ETA 0, Workers 0", s)
+	}
+	if w := reg.Gauge("sweep.workers").Value(); w != 0 {
+		t.Errorf("sweep.workers gauge = %d, want 0 (pool clamps to job count)", w)
+	}
+	if q := reg.Gauge("sweep.jobs.queued").Value(); q != 0 {
+		t.Errorf("sweep.jobs.queued gauge = %d, want 0", q)
+	}
+}
+
+// TestProgressSnapshotBeforeBegin: a tracker polled before the sweep
+// starts (the service registers progress sources at submit time, not
+// run time) reports the zero snapshot, not a garbage elapsed offset
+// from the zero time.Time.
+func TestProgressSnapshotBeforeBegin(t *testing.T) {
+	p := NewProgress()
+	s := p.Snapshot()
+	if s.Total != 0 || s.Done || s.ETAMS != 0 || s.ElapsedMS != 0 {
+		t.Errorf("pre-begin snapshot = %+v, want all-zero", s)
+	}
+}
+
 // TestProgressNil: a nil tracker no-ops across the whole engine path.
 func TestProgressNil(t *testing.T) {
 	var p *Progress

@@ -10,9 +10,11 @@
 //     from the base seed and its own ID (SeedFor), never from worker
 //     identity or completion order, so results are byte-identical for
 //     any -workers value.
-//   - Failure policy: by default the first failing job cancels the
-//     run's context and the remaining queued jobs are skipped; with
-//     KeepGoing every job runs and all failures are reported.
+//   - Failure policy: by default a failing job cancels the run's
+//     context and the remaining queued jobs are skipped; with KeepGoing
+//     every job runs. Either way the error Run returns is the failed
+//     outcome with the lowest Seq — never a completion-order pick — so
+//     what callers print is as schedule-independent as the outcomes.
 //   - Capture: each job's wall-clock time is recorded, and with
 //     Metrics enabled each job runs against its own obs.Registry whose
 //     snapshot is attached to the Outcome (merge them with
@@ -134,6 +136,14 @@ type Options struct {
 	// attributions fold into stacks like "E05;hmm;label.3;compute". May
 	// be nil.
 	Profile *obs.Profile
+	// Stream, when non-nil, receives each Outcome in submission order as
+	// soon as it and every earlier job are terminal, while later jobs may
+	// still run — the resumable-stream hook a service uses to follow a
+	// sweep's JSONL records live. The callback runs on worker goroutines
+	// under an internal lock (one call at a time, never concurrently), so
+	// keep it fast; the outcomes it sees are exactly the slice Run
+	// returns, one element at a time. May be nil.
+	Stream func(Outcome)
 }
 
 // SeedFor derives the deterministic seed of job id under base: an
@@ -157,11 +167,29 @@ func SeedFor(base uint64, id string) uint64 {
 }
 
 // Run executes jobs across the bounded worker pool and returns one
-// outcome per job in submission order. The returned error is the first
-// job failure (in completion order) or the context's error; with
-// KeepGoing it still reports the first failure, after every job has
-// run. Outcomes are complete in every case.
+// outcome per job in submission order. Job IDs must be unique within
+// the run — they drive per-job seeds (SeedFor) and downstream cache
+// keys — so a duplicate is rejected up front with an error and nil
+// outcomes rather than silently running two jobs on one seed.
+//
+// The returned error is the failed outcome with the lowest Seq, a
+// schedule-independent choice: under KeepGoing every job runs, so the
+// failed set — and with it the reported error, and anything that
+// prints it — is byte-identical for any Workers value, whatever the
+// completion order was. Without KeepGoing the first observed failure
+// still cancels the sweep, and the reported failure is again the
+// lowest-Seq one among the jobs that actually failed before the
+// cancellation landed. When no job failed, the context's error (if
+// any) is returned. Outcomes are complete whenever the job list was
+// accepted.
 func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
+	seen := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		if prev, ok := seen[j.ID]; ok {
+			return nil, fmt.Errorf("sweep: duplicate job ID %q (positions %d and %d): IDs drive per-job seeds and downstream cache keys, so they must be unique within a run", j.ID, prev, i)
+		}
+		seen[j.ID] = i
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -187,15 +215,17 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 	opt.Obs.Gauge("sweep.workers").Set(int64(workers))
 
 	outcomes := make([]Outcome, len(jobs))
+	emit := newStreamEmitter(opt.Stream, outcomes)
 	var (
 		next     atomic.Int64
-		firstErr error
-		errOnce  sync.Once
+		failOnce sync.Once
 		wg       sync.WaitGroup
 	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
+	// fail triggers the fail-fast cancellation; which failure Run
+	// *reports* is decided after the pool drains, by Seq, so the error
+	// never depends on completion order.
+	fail := func() {
+		failOnce.Do(func() {
 			if !opt.KeepGoing {
 				cancel()
 			}
@@ -219,6 +249,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 					out.Status, out.Err = StatusSkipped, err
 					skipped.Inc()
 					opt.Progress.jobSkipped(i)
+					emit.markDone(i)
 					continue
 				}
 				p := Params{Quick: opt.Quick, Seed: out.Seed}
@@ -257,24 +288,70 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Outcome, error) {
 					out.Status, out.Err = StatusFailed, err
 					failed.Inc()
 					opt.Progress.jobFinished(i, StatusFailed, out.Wall)
-					fail(fmt.Errorf("sweep: job %s: %w", job.ID, err))
+					emit.markDone(i)
+					fail()
 					continue
 				}
 				out.Status, out.Value = StatusOK, val
 				completed.Inc()
 				opt.Progress.jobFinished(i, StatusOK, out.Wall)
+				emit.markDone(i)
 			}
 		}()
 	}
 	wg.Wait()
 
-	if firstErr != nil {
-		return outcomes, firstErr
+	// Report the lowest-Seq failure: under KeepGoing every job ran, so
+	// the failed set — and therefore the reported error — is identical
+	// for any worker count. (The pre-fix engine reported the first
+	// failure in completion order, which varied with scheduling.)
+	for i := range outcomes {
+		if outcomes[i].Status == StatusFailed {
+			return outcomes, fmt.Errorf("sweep: job %s: %w", outcomes[i].ID, outcomes[i].Err)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return outcomes, err
 	}
 	return outcomes, nil
+}
+
+// streamEmitter delivers outcomes to the Options.Stream hook in
+// submission order: a worker marks its outcome terminal and the
+// emitter flushes the contiguous terminal prefix. The mutex both
+// serializes the callback and orders each worker's outcome write
+// before any other worker emits it.
+type streamEmitter struct {
+	emit     func(Outcome)
+	outcomes []Outcome
+
+	mu    sync.Mutex
+	ready []bool // guarded by mu
+	next  int    // guarded by mu
+}
+
+// newStreamEmitter returns an emitter over the run's outcome slice, or
+// nil when no hook is set (markDone no-ops on nil).
+func newStreamEmitter(emit func(Outcome), outcomes []Outcome) *streamEmitter {
+	if emit == nil {
+		return nil
+	}
+	return &streamEmitter{emit: emit, outcomes: outcomes, ready: make([]bool, len(outcomes))}
+}
+
+// markDone records that outcome i is terminal and emits every not-yet-
+// emitted outcome of the contiguous terminal prefix, in order.
+func (e *streamEmitter) markDone(i int) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ready[i] = true
+	for e.next < len(e.ready) && e.ready[e.next] {
+		e.emit(e.outcomes[e.next])
+		e.next++
+	}
 }
 
 // runJob invokes the job, translating a panic in the builder into an

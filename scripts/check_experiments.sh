@@ -39,6 +39,12 @@ if off < 0:
 print(f"determinism gate OK: {len(body)} bytes match EXPERIMENTS.md at offset {off}")
 PYEOF
 
+# Sweep-contract determinism: the engine's schedule-independence tests
+# (error reporting, duplicate-ID rejection, ordered streaming) must hold
+# at every worker count — the same contract the dbspd service builds its
+# result cache on.
+go test -run 'TestContract' -count=1 ./internal/sweep/
+
 # Dry-run finding counts: the full dbsplint suite over the module, folded
 # to a per-analyzer tally over the full roster (-list), zeros included —
 # so both a new finding and a silently vanished analyzer are visible.
